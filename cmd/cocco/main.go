@@ -1,0 +1,158 @@
+// Command cocco runs a single Cocco search: graph partition for a fixed
+// memory configuration, or full hardware-mapping co-exploration.
+//
+// Examples:
+//
+//	cocco -model resnet50 -metric ema -samples 50000
+//	cocco -model googlenet -metric energy -alpha 0.002 -search -kind shared
+//	cocco -model nasnet -cores 4 -batch 8 -search -kind shared
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/models"
+	"cocco/internal/partition"
+	"cocco/internal/report"
+	"cocco/internal/serialize"
+	"cocco/internal/tiling"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cocco: ")
+
+	var (
+		model   = flag.String("model", "resnet50", "model name: "+strings.Join(models.Names(), ", "))
+		metric  = flag.String("metric", "energy", "optimization metric: ema | energy")
+		alpha   = flag.Float64("alpha", 0.002, "Formula 2 preference α (0 = partition-only Formula 1)")
+		samples = flag.Int("samples", 50_000, "genome-evaluation budget")
+		popSize = flag.Int("population", 100, "GA population size")
+		seed    = flag.Int64("seed", 42, "random seed")
+		search  = flag.Bool("search", false, "co-explore the memory configuration (DSE)")
+		kind    = flag.String("kind", "separate", "buffer design: separate | shared")
+		glbKB   = flag.Int64("glb", 1024, "global buffer KB (fixed-HW runs; shared capacity for -kind shared)")
+		wgtKB   = flag.Int64("wgt", 1152, "weight buffer KB (fixed-HW separate runs)")
+		cores   = flag.Int("cores", 1, "number of accelerator cores")
+		batch   = flag.Int("batch", 1, "batch size")
+		show    = flag.Int("show", 8, "number of subgraphs to print from the best partition")
+		dump    = flag.String("dump", "", "write the best partition as JSON to this path")
+	)
+	flag.Parse()
+
+	g, err := models.Build(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := hw.DefaultPlatform()
+	platform.Cores = *cores
+	platform.Batch = *batch
+	ev, err := eval.New(g, platform, tiling.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	obj := eval.Objective{Metric: eval.MetricEnergy, Alpha: *alpha}
+	switch *metric {
+	case "ema":
+		obj.Metric = eval.MetricEMA
+	case "energy":
+	default:
+		log.Fatalf("unknown metric %q", *metric)
+	}
+
+	bufKind := hw.SeparateBuffer
+	if *kind == "shared" {
+		bufKind = hw.SharedBuffer
+	} else if *kind != "separate" {
+		log.Fatalf("unknown buffer kind %q", *kind)
+	}
+
+	ms := core.MemSearch{Kind: bufKind}
+	if *search {
+		ms.Search = true
+		if bufKind == hw.SharedBuffer {
+			ms.Global = hw.PaperSharedRange()
+		} else {
+			ms.Global = hw.PaperGlobalRange()
+			ms.Weight = hw.PaperWeightRange()
+		}
+		if obj.Alpha == 0 {
+			log.Fatal("-search requires -alpha > 0 (Formula 2)")
+		}
+	} else {
+		ms.Fixed = hw.MemConfig{Kind: bufKind, GlobalBytes: *glbKB * hw.KiB}
+		if bufKind == hw.SeparateBuffer {
+			ms.Fixed.WeightBytes = *wgtKB * hw.KiB
+		}
+	}
+
+	fmt.Printf("model %s: %d nodes, %d edges, %s weights, %.1f GMACs\n",
+		g.Name, g.Len(), g.Edges(), report.Bytes(g.TotalWeightBytes()),
+		float64(g.TotalMACs())/1e9)
+
+	best, stats, err := core.Run(ev, core.Options{
+		Seed:       *seed,
+		Population: *popSize,
+		MaxSamples: *samples,
+		Objective:  obj,
+		Mem:        ms,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nbest after %d samples (%d feasible, %d generations):\n",
+		stats.Samples, stats.FeasibleSamples, stats.Generations)
+	fmt.Printf("  memory    %v (total %s)\n", best.Mem, report.Bytes(best.Mem.TotalBytes()))
+	fmt.Printf("  cost      %.6g\n", best.Cost)
+	fmt.Printf("  EMA       %s\n", report.Bytes(best.Res.EMABytes))
+	fmt.Printf("  energy    %s\n", report.MJ(best.Res.EnergyPJ))
+	fmt.Printf("  latency   %s\n", report.MS(ev.LatencySeconds(best.Res.LatencyCycles)))
+	fmt.Printf("  avg BW    %s\n", report.GBps(best.Res.AvgBWBytesPerSec))
+	fmt.Printf("  subgraphs %d\n", best.P.NumSubgraphs())
+
+	printPartition(os.Stdout, ev, best.P, *show)
+
+	if *dump != "" {
+		data, err := serialize.EncodePartition(best.P)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*dump, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d bytes)\n", *dump, len(data))
+	}
+}
+
+func printPartition(w *os.File, ev *eval.Evaluator, p *partition.Partition, show int) {
+	g := ev.Graph()
+	fmt.Fprintln(w, "\nfirst subgraphs of the best partition:")
+	for s, members := range p.Subgraphs() {
+		if s >= show {
+			fmt.Fprintf(w, "  ... (%d more)\n", p.NumSubgraphs()-show)
+			break
+		}
+		c := ev.Subgraph(members)
+		names := make([]string, 0, len(members))
+		for _, id := range members {
+			names = append(names, g.Node(id).Name)
+		}
+		const maxNames = 6
+		label := strings.Join(names, ",")
+		if len(names) > maxNames {
+			label = strings.Join(names[:maxNames], ",") + fmt.Sprintf(",+%d", len(names)-maxNames)
+		}
+		fmt.Fprintf(w, "  #%-3d %2d layers  wgt=%-9s act=%-9s io=%-9s  [%s]\n",
+			s, len(members), report.Bytes(c.WeightBytes), report.Bytes(c.ActFootprint),
+			report.Bytes(c.InBytes+c.OutBytes), label)
+	}
+}

@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"math"
+
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/partition"
+)
+
+// DP implements the Irregular-NN scheduler (§4.2.3): layers are arranged by
+// depth (topological order) and a sequential dynamic program chooses cut
+// points, so every subgraph consists of layers contiguous in that order —
+// the constrained search space the paper criticizes. Ranges that are
+// disconnected, unschedulable, or over capacity are skipped (singletons are
+// always available, so the DP always completes).
+//
+// Returns the best partition found and the number of candidate-subgraph
+// evaluations spent.
+func DP(ev *eval.Evaluator, mem hw.MemConfig, metric eval.Metric) (*partition.Partition, int) {
+	g := ev.Graph()
+	order := g.ComputeNodes() // fixed topological (depth) order
+	n := len(order)
+	samples := 0
+
+	const maxRange = 64 // ranges beyond any plausible buffer are pruned
+
+	// cost[i] = best cost of scheduling order[0:i].
+	cost := make([]float64, n+1)
+	cut := make([]int, n+1) // cut[i] = j such that order[j:i] is the last subgraph
+	for i := 1; i <= n; i++ {
+		cost[i] = math.Inf(1)
+		// Grow the final subgraph backwards from i; stop when its weights
+		// alone exceed the capacity (weights grow monotonically with the
+		// range, activations do not, so only weights are safe to prune on).
+		wgtCap := mem.WeightBytes
+		if mem.Kind == hw.SharedBuffer {
+			wgtCap = mem.GlobalBytes
+		}
+		var wgt int64
+		for j := i - 1; j >= 0 && i-j <= maxRange; j-- {
+			wgt += g.Node(order[j]).WeightBytes()
+			if i-j > 1 && wgt > wgtCap {
+				break
+			}
+			members := order[j:i]
+			set := make(map[int]bool, len(members))
+			for _, id := range members {
+				set[id] = true
+			}
+			if len(members) > 1 && !g.IsConnected(set) {
+				continue
+			}
+			c := ev.Subgraph(members)
+			samples++
+			if !ev.Fits(c, mem) {
+				continue
+			}
+			if v := cost[j] + ev.SubgraphMetric(c, mem, metric); v < cost[i] {
+				cost[i] = v
+				cut[i] = j
+			}
+		}
+	}
+
+	// Reconstruct.
+	assign := make([]int, g.Len())
+	for i := range assign {
+		assign[i] = partition.Unassigned
+	}
+	var cuts []int
+	for i := n; i > 0; i = cut[i] {
+		cuts = append(cuts, i)
+	}
+	sub := 0
+	start := 0
+	for k := len(cuts) - 1; k >= 0; k-- {
+		for _, id := range order[start:cuts[k]] {
+			assign[id] = sub
+		}
+		sub++
+		start = cuts[k]
+	}
+	p, err := partition.From(g, assign)
+	if err != nil {
+		// Contiguous topological ranges always schedule; this is a safety
+		// net, not an expected path.
+		return partition.Singletons(g), samples
+	}
+	return p, samples
+}

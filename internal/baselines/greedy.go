@@ -1,0 +1,97 @@
+// Package baselines implements the four comparison optimizers of §4.2 —
+// the Halide-style greedy merger, the Irregular-NN depth-order dynamic
+// program, the exact enumeration-based search, and simulated annealing —
+// plus the two-step (RS+GA / GS+GA) design-space-exploration schemes of
+// §5.3.
+package baselines
+
+import (
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/partition"
+)
+
+// Greedy implements Halide's function-grouping heuristic (§4.2.2): start
+// from singleton subgraphs and iteratively merge the adjacent pair with the
+// greatest positive benefit until no merge helps. Merges that exceed the
+// fixed buffer capacity or are unschedulable are skipped. Returns the final
+// partition and the number of candidate evaluations ("samples") spent.
+func Greedy(ev *eval.Evaluator, mem hw.MemConfig, metric eval.Metric) (*partition.Partition, int) {
+	p := partition.Singletons(ev.Graph())
+	samples := 0
+
+	subCost := func(members []int) float64 {
+		samples++
+		return ev.SubgraphMetric(ev.Subgraph(members), mem, metric)
+	}
+
+	for {
+		type move struct {
+			a, b    int
+			benefit float64
+			merged  *partition.Partition
+		}
+		var best *move
+		tried := map[[2]int]bool{}
+		for a := 0; a < p.NumSubgraphs(); a++ {
+			for _, b := range quotientNeighbors(ev, p, a) {
+				key := [2]int{minInt(a, b), maxInt(a, b)}
+				if tried[key] {
+					continue
+				}
+				tried[key] = true
+				merged, err := p.TryMerge(key[0], key[1])
+				if err != nil {
+					continue
+				}
+				// Identify the merged subgraph: the one containing a's
+				// first member after renumbering.
+				ms := merged.Of(p.Members(key[0])[0])
+				mergedMembers := merged.Members(ms)
+				mc := ev.Subgraph(mergedMembers)
+				if !ev.Fits(mc, mem) {
+					continue
+				}
+				benefit := subCost(p.Members(key[0])) + subCost(p.Members(key[1])) - subCost(mergedMembers)
+				if benefit > 0 && (best == nil || benefit > best.benefit) {
+					best = &move{a: key[0], b: key[1], benefit: benefit, merged: merged}
+				}
+			}
+		}
+		if best == nil {
+			return p, samples
+		}
+		p = best.merged
+	}
+}
+
+// quotientNeighbors lists subgraphs adjacent to s in the quotient graph.
+func quotientNeighbors(ev *eval.Evaluator, p *partition.Partition, s int) []int {
+	g := ev.Graph()
+	seen := map[int]bool{}
+	var out []int
+	for _, u := range p.Members(s) {
+		for _, v := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
+			t := p.Of(v)
+			if t != partition.Unassigned && t != s && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

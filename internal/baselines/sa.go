@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+)
+
+// SAOptions configures the simulated-annealing co-optimizer (§4.2.4), which
+// uses Cocco's mutation operators as its neighborhood moves.
+type SAOptions struct {
+	Seed       int64
+	MaxSamples int
+	// InitialTemp and FinalTemp bound the geometric cooling schedule; the
+	// temperature is expressed as a fraction of the current cost so the
+	// schedule is scale-free across metrics.
+	InitialTemp, FinalTemp float64
+	Objective              eval.Objective
+	Mem                    core.MemSearch
+	Trace                  func(core.TracePoint)
+}
+
+func (o SAOptions) withDefaults() SAOptions {
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 50_000
+	}
+	if o.InitialTemp == 0 {
+		o.InitialTemp = 0.10
+	}
+	if o.FinalTemp == 0 {
+		o.FinalTemp = 0.0005
+	}
+	return o
+}
+
+// SA runs simulated annealing and returns the best genome found.
+func SA(ev *eval.Evaluator, opt SAOptions) (*core.Genome, error) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	cost := func(g *core.Genome) float64 {
+		if !g.Res.Feasible() {
+			return math.Inf(1)
+		}
+		c := g.Res.MetricValue(opt.Objective.Metric)
+		if opt.Objective.Alpha > 0 {
+			return float64(g.Mem.TotalBytes()) + opt.Objective.Alpha*c
+		}
+		return c
+	}
+
+	evaluate := func(gnm *core.Genome, sample int) {
+		gnm.P, gnm.Res = core.RepairInSitu(ev, rng, gnm.P, gnm.Mem)
+		gnm.Cost = cost(gnm)
+		if opt.Trace != nil {
+			opt.Trace(core.TracePoint{
+				Sample:   sample,
+				Cost:     gnm.Cost,
+				Metric:   gnm.Res.MetricValue(opt.Objective.Metric),
+				Mem:      gnm.Mem,
+				Feasible: gnm.Res.Feasible(),
+			})
+		}
+	}
+
+	cur := &core.Genome{
+		P:   core.RandomPartition(ev.Graph(), rng, 0.35),
+		Mem: core.RandomMemConfig(rng, opt.Mem),
+	}
+	evaluate(cur, 1)
+	best := cur.Clone()
+
+	cooling := math.Pow(opt.FinalTemp/opt.InitialTemp, 1/float64(maxInt(opt.MaxSamples-1, 1)))
+	temp := opt.InitialTemp
+	for s := 2; s <= opt.MaxSamples; s++ {
+		cand := cur.Clone()
+		// One random move: a partition mutation, or mutation-DSE when the
+		// hardware is searchable.
+		moves := 3
+		if opt.Mem.Search {
+			moves = 4
+		}
+		if rng.Intn(moves) == 3 {
+			cand.Mem = core.MutateMemConfig(rng, opt.Mem, 2, cand.Mem)
+		} else {
+			cand.P = core.ApplyRandomMutation(ev.Graph(), rng, cand.P)
+		}
+		evaluate(cand, s)
+
+		accept := false
+		switch {
+		case math.IsInf(cand.Cost, 1):
+			// never accept infeasible
+		case cand.Cost <= cur.Cost:
+			accept = true
+		default:
+			rel := (cand.Cost - cur.Cost) / cur.Cost
+			accept = rng.Float64() < math.Exp(-rel/temp)
+		}
+		if accept {
+			cur = cand
+			if cur.Cost < best.Cost {
+				best = cur.Clone()
+			}
+		}
+		temp *= cooling
+	}
+	if math.IsInf(best.Cost, 1) {
+		return best, errInfeasibleSA
+	}
+	return best, nil
+}
+
+var errInfeasibleSA = errSA("baselines: SA found no feasible solution")
+
+type errSA string
+
+func (e errSA) Error() string { return string(e) }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/partition"
+)
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// Samples is the number of genome evaluations performed.
+	Samples int
+	// Generations is the number of completed generations.
+	Generations int
+	// FeasibleSamples counts genomes feasible after in-situ repair.
+	FeasibleSamples int
+	// BestHistory records the best-so-far cost at the end of each
+	// generation.
+	BestHistory []float64
+}
+
+// Optimizer runs the Cocco genetic search over one evaluator.
+type Optimizer struct {
+	ev  *eval.Evaluator
+	opt Options
+	rng *rand.Rand
+
+	best    *Genome
+	samples int
+	gen     int
+	stats   Stats
+}
+
+// NewOptimizer validates options and prepares a run.
+func NewOptimizer(ev *eval.Evaluator, opt Options) (*Optimizer, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return &Optimizer{ev: ev, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}, nil
+}
+
+// Run executes the full search and returns the best feasible genome found.
+func Run(ev *eval.Evaluator, opt Options) (*Genome, *Stats, error) {
+	o, err := NewOptimizer(ev, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return o.Run()
+}
+
+// Run executes the search.
+func (o *Optimizer) Run() (*Genome, *Stats, error) {
+	pop := o.initialPopulation()
+	for o.samples < o.opt.MaxSamples {
+		o.gen++
+		offspring := o.makeOffspring(pop)
+		pop = o.selectNext(append(pop, offspring...))
+		o.stats.BestHistory = append(o.stats.BestHistory, o.bestCost())
+		o.stats.Generations = o.gen
+	}
+	o.stats.Samples = o.samples
+	if o.best == nil {
+		return nil, &o.stats, fmt.Errorf("core: no feasible genome found in %d samples", o.samples)
+	}
+	return o.best, &o.stats, nil
+}
+
+func (o *Optimizer) bestCost() float64 {
+	if o.best == nil {
+		return infeasibleCost
+	}
+	return o.best.Cost
+}
+
+// initialPopulation seeds from Options.Init (if any) and fills with random
+// genomes (§4.4.1).
+func (o *Optimizer) initialPopulation() []*Genome {
+	pop := make([]*Genome, 0, o.opt.Population)
+	for _, p := range o.opt.Init {
+		if len(pop) >= o.opt.Population {
+			break
+		}
+		pop = append(pop, o.evaluate(p.Clone(), randomMem(o.rng, o.opt.Mem)))
+	}
+	for len(pop) < o.opt.Population && o.samples < o.opt.MaxSamples {
+		p := RandomPartition(o.ev.Graph(), o.rng, o.opt.PNewInit)
+		pop = append(pop, o.evaluate(p, randomMem(o.rng, o.opt.Mem)))
+	}
+	return pop
+}
+
+// makeOffspring produces one generation of offspring via crossover and the
+// customized mutations.
+func (o *Optimizer) makeOffspring(pop []*Genome) []*Genome {
+	var out []*Genome
+	for len(out) < o.opt.Population && o.samples < o.opt.MaxSamples {
+		var child *Genome
+		dad := pop[o.rng.Intn(len(pop))]
+		if !o.opt.DisableCrossover && o.rng.Float64() < o.opt.CrossoverProb {
+			mom := pop[o.rng.Intn(len(pop))]
+			p := crossoverPartition(o.ev.Graph(), o.rng, dad.P, mom.P)
+			child = &Genome{P: p, Mem: crossoverMem(o.opt.Mem, dad.Mem, mom.Mem)}
+		} else {
+			child = dad.Clone()
+		}
+		o.mutate(child)
+		out = append(out, o.evaluate(child.P, child.Mem))
+	}
+	return out
+}
+
+func (o *Optimizer) mutate(g *Genome) {
+	if o.rng.Float64() < o.opt.MutModify {
+		g.P = mutateModifyNode(o.ev.Graph(), o.rng, g.P)
+	}
+	if o.rng.Float64() < o.opt.MutSplit {
+		g.P = mutateSplit(o.ev.Graph(), o.rng, g.P)
+	}
+	if o.rng.Float64() < o.opt.MutMerge {
+		g.P = mutateMerge(o.ev.Graph(), o.rng, g.P)
+	}
+	if o.opt.Mem.Search && o.rng.Float64() < o.opt.MutDSE {
+		g.Mem = mutateDSE(o.rng, o.opt.Mem, o.opt.DSESigmaSteps, g.Mem)
+	}
+}
+
+// evaluate scores a genome, applying the in-situ split repair of §4.4.4:
+// subgraphs exceeding the buffer capacity are split until everything fits
+// (singletons always fit via the layer-level tiling fallback).
+func (o *Optimizer) evaluate(p *partition.Partition, mem hw.MemConfig) *Genome {
+	g := &Genome{P: p, Mem: mem}
+	var res *eval.Result
+	if o.opt.DisableInSituSplit {
+		res = o.ev.Partition(g.P, g.Mem)
+	} else {
+		g.P, res = RepairInSitu(o.ev, o.rng, g.P, g.Mem)
+	}
+	g.Res = res
+	if res.Feasible() {
+		g.Cost = o.cost(g, res)
+		o.stats.FeasibleSamples++
+		if o.best == nil || g.Cost < o.best.Cost {
+			o.best = g.Clone()
+		}
+	} else {
+		g.Cost = infeasibleCost + float64(len(res.Infeasible))
+	}
+	o.samples++
+	if o.opt.Trace != nil {
+		o.opt.Trace(TracePoint{
+			Sample:     o.samples,
+			Cost:       g.Cost,
+			Metric:     res.MetricValue(o.opt.Objective.Metric),
+			Mem:        g.Mem,
+			Feasible:   res.Feasible(),
+			BestCost:   o.bestCost(),
+			Generation: o.gen,
+		})
+	}
+	return g
+}
+
+func (o *Optimizer) cost(g *Genome, res *eval.Result) float64 {
+	c := res.MetricValue(o.opt.Objective.Metric)
+	if o.opt.Objective.Alpha > 0 {
+		return float64(g.Mem.TotalBytes()) + o.opt.Objective.Alpha*c
+	}
+	return c
+}
+
+// selectNext forms the next generation by tournament selection over the
+// combined parent+offspring pool, with elitism for the best genome (§4.4.5).
+func (o *Optimizer) selectNext(pool []*Genome) []*Genome {
+	next := make([]*Genome, 0, o.opt.Population)
+	if o.best != nil {
+		next = append(next, o.best.Clone())
+	}
+	for len(next) < o.opt.Population {
+		winner := pool[o.rng.Intn(len(pool))]
+		for i := 1; i < o.opt.Tournament; i++ {
+			c := pool[o.rng.Intn(len(pool))]
+			if c.Cost < winner.Cost {
+				winner = c
+			}
+		}
+		next = append(next, winner)
+	}
+	// Deterministic ordering aids reproducibility of subsequent draws.
+	sort.SliceStable(next, func(i, j int) bool { return next[i].Cost < next[j].Cost })
+	return next
+}

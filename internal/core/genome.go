@@ -1,0 +1,174 @@
+// Package core implements the Cocco optimization framework (§4.3–§4.4): a
+// genetic algorithm whose genomes pair a graph-partition scheme with a
+// memory configuration, with customized crossover and mutation operators
+// (modify-node, split-subgraph, merge-subgraph, mutation-DSE), tournament
+// selection, and in-situ split repair of over-capacity subgraphs during
+// evaluation.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/partition"
+)
+
+// infeasibleCost is the fitness sentinel for genomes that remain infeasible
+// after in-situ repair. Large enough to lose every tournament against any
+// real cost, small enough to stay well-ordered in float64 arithmetic.
+const infeasibleCost = 1e30
+
+// Genome is one candidate solution: a partition scheme and the memory
+// configuration it runs on.
+type Genome struct {
+	P    *partition.Partition
+	Mem  hw.MemConfig
+	Cost float64
+	Res  *eval.Result
+}
+
+// Clone deep-copies the genome (evaluation results are shared; they are
+// immutable).
+func (g *Genome) Clone() *Genome {
+	return &Genome{P: g.P.Clone(), Mem: g.Mem, Cost: g.Cost, Res: g.Res}
+}
+
+// MemSearch configures the hardware half of the search space.
+type MemSearch struct {
+	// Search enables memory DSE. When false, every genome uses Fixed.
+	Search bool
+	// Kind selects separate or shared buffers.
+	Kind hw.BufferKind
+	// Global and Weight are the capacity candidate ranges (Weight unused
+	// for the shared design).
+	Global, Weight hw.MemRange
+	// Fixed is the configuration used when Search is false.
+	Fixed hw.MemConfig
+}
+
+// TracePoint is reported to Options.Trace after every genome evaluation;
+// the convergence (Fig. 12) and distribution (Fig. 13) experiments are
+// built from this stream.
+type TracePoint struct {
+	// Sample is the 1-based evaluation counter.
+	Sample int
+	// Cost is the genome's objective cost (infeasibleCost if unrepaired).
+	Cost float64
+	// Metric is the raw metric value (EMA bytes or energy pJ).
+	Metric float64
+	// Mem is the genome's memory configuration.
+	Mem hw.MemConfig
+	// Feasible reports whether every subgraph fit after repair.
+	Feasible bool
+	// BestCost is the best feasible cost seen so far, including this point.
+	BestCost float64
+	// Generation is the GA generation the sample belongs to (0 = initial
+	// population).
+	Generation int
+}
+
+// Options configures a Cocco run.
+type Options struct {
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+	// Population size (paper Fig. 13 uses 500).
+	Population int
+	// MaxSamples is the total genome-evaluation budget (paper: up to
+	// 400,000 for partition-only, 50,000 for co-exploration).
+	MaxSamples int
+	// Tournament is the tournament size of the selection stage.
+	Tournament int
+	// CrossoverProb is the probability an offspring comes from crossover
+	// rather than cloning one parent.
+	CrossoverProb float64
+	// PNewInit is the probability, during random initialization, that a
+	// layer starts a new subgraph rather than joining its latest parent's.
+	PNewInit float64
+	// MutModify/MutSplit/MutMerge/MutDSE are per-offspring probabilities of
+	// each customized mutation.
+	MutModify, MutSplit, MutMerge, MutDSE float64
+	// DSESigmaSteps is the standard deviation of mutation-DSE in units of
+	// capacity-grid steps.
+	DSESigmaSteps float64
+	// Objective is the cost function.
+	Objective eval.Objective
+	// Mem configures hardware search.
+	Mem MemSearch
+	// Init optionally seeds the initial population with partitions from
+	// other optimizers (§4.3 benefit 4).
+	Init []*partition.Partition
+	// Trace, if non-nil, receives every evaluated sample.
+	Trace func(TracePoint)
+	// DisableCrossover and DisableInSituSplit support the ablation
+	// benchmarks; both default to enabled behavior.
+	DisableCrossover   bool
+	DisableInSituSplit bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Population <= 0 {
+		o.Population = 100
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 50_000
+	}
+	if o.Tournament <= 0 {
+		o.Tournament = 4
+	}
+	if o.CrossoverProb == 0 {
+		o.CrossoverProb = 0.7
+	}
+	if o.PNewInit == 0 {
+		o.PNewInit = 0.35
+	}
+	if o.MutModify == 0 {
+		o.MutModify = 0.3
+	}
+	if o.MutSplit == 0 {
+		o.MutSplit = 0.2
+	}
+	if o.MutMerge == 0 {
+		o.MutMerge = 0.3
+	}
+	if o.MutDSE == 0 {
+		o.MutDSE = 0.3
+	}
+	if o.DSESigmaSteps == 0 {
+		o.DSESigmaSteps = 2
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Mem.Search {
+		if o.Mem.Global.Count() == 0 {
+			return fmt.Errorf("core: empty global-buffer range")
+		}
+		if o.Mem.Kind == hw.SeparateBuffer && o.Mem.Weight.Count() == 0 {
+			return fmt.Errorf("core: empty weight-buffer range")
+		}
+	} else if err := o.Mem.Fixed.Validate(); err != nil {
+		return fmt.Errorf("core: fixed memory config: %w", err)
+	}
+	return nil
+}
+
+// randomMem draws a uniform memory configuration from the search ranges
+// (§4.4.1: "every genome selects a capacity value in a given range following
+// a uniform distribution").
+func randomMem(rng *rand.Rand, ms MemSearch) hw.MemConfig {
+	if !ms.Search {
+		return ms.Fixed
+	}
+	pick := func(r hw.MemRange) int64 {
+		c := r.Candidates()
+		return c[rng.Intn(len(c))]
+	}
+	if ms.Kind == hw.SharedBuffer {
+		return hw.MemConfig{Kind: hw.SharedBuffer, GlobalBytes: pick(ms.Global)}
+	}
+	return hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: pick(ms.Global), WeightBytes: pick(ms.Weight)}
+}

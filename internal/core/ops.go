@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"cocco/internal/eval"
+	"cocco/internal/graph"
+	"cocco/internal/hw"
+	"cocco/internal/partition"
+)
+
+// RandomPartition draws a valid random partition (§4.4.1's random
+// initialization): layers are visited in topological order and each either
+// starts a new subgraph (probability pNew) or joins the subgraph of one of
+// its latest-scheduled producers — a choice that always preserves precedence
+// and connectivity.
+func RandomPartition(g *graph.Graph, rng *rand.Rand, pNew float64) *partition.Partition {
+	assign := make([]int, g.Len())
+	for i := range assign {
+		assign[i] = partition.Unassigned
+	}
+	next := 0
+	for _, v := range g.ComputeNodes() {
+		// Producers already assigned (inputs stay Unassigned).
+		maxP := -1
+		for _, u := range g.Pred(v) {
+			if assign[u] > maxP {
+				maxP = assign[u]
+			}
+		}
+		if maxP < 0 || rng.Float64() < pNew {
+			assign[v] = next
+			next++
+			continue
+		}
+		// Join one of the producers' subgraphs with the maximal id: this
+		// keeps the quotient edges pointing forward (acyclic) and attaches
+		// v to a member, preserving connectivity.
+		var cands []int
+		seen := map[int]bool{}
+		for _, u := range g.Pred(v) {
+			if assign[u] == maxP && !seen[assign[u]] {
+				seen[assign[u]] = true
+				cands = append(cands, assign[u])
+			}
+		}
+		assign[v] = cands[rng.Intn(len(cands))]
+	}
+	p, err := partition.From(g, assign)
+	if err != nil {
+		// By construction this cannot happen; fall back to singletons to
+		// keep the optimizer running rather than crash mid-search.
+		return partition.Singletons(g)
+	}
+	return p
+}
+
+// ApplyRandomMutation applies one uniformly chosen partition mutation
+// (modify-node, split-subgraph, or merge-subgraph). Exported so the
+// simulated-annealing baseline can use Cocco's operators, as the paper does
+// ("SA is an alternative optimization method for our framework with
+// compatible operators").
+func ApplyRandomMutation(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partition.Partition {
+	switch rng.Intn(3) {
+	case 0:
+		return mutateModifyNode(g, rng, p)
+	case 1:
+		return mutateSplit(g, rng, p)
+	default:
+		return mutateMerge(g, rng, p)
+	}
+}
+
+// MutateMemConfig applies the mutation-DSE operator: resample the capacities
+// around the current values with a normal distribution of sigmaSteps grid
+// steps.
+func MutateMemConfig(rng *rand.Rand, ms MemSearch, sigmaSteps float64, m hw.MemConfig) hw.MemConfig {
+	return mutateDSE(rng, ms, sigmaSteps, m)
+}
+
+// RandomMemConfig draws a uniform configuration from the search ranges.
+func RandomMemConfig(rng *rand.Rand, ms MemSearch) hw.MemConfig {
+	return randomMem(rng, ms)
+}
+
+// RepairInSitu applies the in-situ split repair of §4.4.4 outside the GA:
+// infeasible subgraphs are split until everything fits or no split applies.
+// Returns the repaired partition and its evaluation.
+func RepairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, mem hw.MemConfig) (*partition.Partition, *eval.Result) {
+	res := ev.Partition(p, mem)
+	for iter := 0; iter < 64 && !res.Feasible(); iter++ {
+		split := false
+		for _, s := range res.Infeasible {
+			if len(p.Members(s)) < 2 {
+				continue
+			}
+			if q, err := splitRandom(ev.Graph(), rng, p, s); err == nil && q != p {
+				p = q
+				split = true
+				break
+			}
+		}
+		if !split {
+			break
+		}
+		res = ev.Partition(p, mem)
+	}
+	return p, res
+}
+
+// crossoverPartition implements the paper's customized crossover
+// (§4.4.2, Figure 9b): layers are assigned in topological order; each
+// undecided layer picks one parent genome at random and reproduces that
+// parent's subgraph containing it. If the reproduced subgraph overlaps
+// already-decided layers, we either split out a new subgraph excluding them
+// (Child-1) or merge into one of the decided layers' subgraphs (Child-2),
+// chosen at random. Falls back to a clone of dad if the blended assignment
+// is unschedulable.
+func crossoverPartition(g *graph.Graph, rng *rand.Rand, dad, mom *partition.Partition) *partition.Partition {
+	assign := make([]int, g.Len())
+	for i := range assign {
+		assign[i] = partition.Unassigned
+	}
+	decided := make([]bool, g.Len())
+	next := 0
+
+	for _, v := range g.ComputeNodes() {
+		if decided[v] {
+			continue
+		}
+		src := dad
+		if rng.Intn(2) == 1 {
+			src = mom
+		}
+		members := src.Members(src.Of(v))
+		var undecided, overlap []int
+		for _, m := range members {
+			if decided[m] {
+				overlap = append(overlap, m)
+			} else {
+				undecided = append(undecided, m)
+			}
+		}
+		var label int
+		if len(overlap) > 0 && rng.Intn(2) == 1 {
+			// Merge into the subgraph of a random decided member.
+			label = assign[overlap[rng.Intn(len(overlap))]]
+		} else {
+			label = next
+			next++
+		}
+		for _, m := range undecided {
+			assign[m] = label
+			decided[m] = true
+		}
+	}
+	p, err := partition.From(g, assign)
+	if err != nil {
+		return dad.Clone()
+	}
+	return p
+}
+
+// crossoverMem averages the parents' capacities and rounds to the nearest
+// candidate (§4.4.2: "each hardware configuration in the offspring is the
+// average of its parents and then rounds to the nearest candidate value").
+func crossoverMem(ms MemSearch, a, b hw.MemConfig) hw.MemConfig {
+	if !ms.Search {
+		return ms.Fixed
+	}
+	out := hw.MemConfig{Kind: ms.Kind}
+	out.GlobalBytes = ms.Global.Clamp((a.GlobalBytes + b.GlobalBytes) / 2)
+	if ms.Kind == hw.SeparateBuffer {
+		out.WeightBytes = ms.Weight.Clamp((a.WeightBytes + b.WeightBytes) / 2)
+	}
+	return out
+}
+
+// mutateModifyNode moves a random node to the subgraph of one of its graph
+// neighbors or to a fresh subgraph (Figure 9c). Returns the input partition
+// unchanged if no valid move is found within a few attempts.
+func mutateModifyNode(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partition.Partition {
+	nodes := g.ComputeNodes()
+	for attempt := 0; attempt < 4; attempt++ {
+		u := nodes[rng.Intn(len(nodes))]
+		// Candidate targets: subgraphs of u's neighbors, plus a new one.
+		seen := map[int]bool{p.Of(u): true}
+		var targets []int
+		for _, n := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
+			s := p.Of(n)
+			if s != partition.Unassigned && !seen[s] {
+				seen[s] = true
+				targets = append(targets, s)
+			}
+		}
+		targets = append(targets, p.NumSubgraphs()) // fresh subgraph
+		t := targets[rng.Intn(len(targets))]
+		if q, err := p.TryModifyNode(u, t); err == nil {
+			return q
+		}
+	}
+	return p
+}
+
+// mutateSplit splits a random multi-node subgraph into two parts along a
+// random connected region (Figure 9d).
+func mutateSplit(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partition.Partition {
+	cands := multiNodeSubgraphs(p)
+	if len(cands) == 0 {
+		return p
+	}
+	s := cands[rng.Intn(len(cands))]
+	if q, err := splitRandom(g, rng, p, s); err == nil {
+		return q
+	}
+	return p
+}
+
+// mutateMerge merges a random subgraph with a random quotient neighbor
+// (Figure 9e); retries a few times since merges across a third subgraph's
+// path are unschedulable.
+func mutateMerge(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partition.Partition {
+	if p.NumSubgraphs() < 2 {
+		return p
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		a := rng.Intn(p.NumSubgraphs())
+		bs := quotientNeighbors(g, p, a)
+		if len(bs) == 0 {
+			continue
+		}
+		b := bs[rng.Intn(len(bs))]
+		if q, err := p.TryMerge(a, b); err == nil {
+			return q
+		}
+	}
+	return p
+}
+
+// mutateDSE resamples the memory configuration around the current value
+// with a normal distribution (§4.4.3 mutation-DSE).
+func mutateDSE(rng *rand.Rand, ms MemSearch, sigmaSteps float64, m hw.MemConfig) hw.MemConfig {
+	if !ms.Search {
+		return m
+	}
+	jitter := func(r hw.MemRange, v int64) int64 {
+		nv := v + int64(rng.NormFloat64()*sigmaSteps*float64(r.Step))
+		return r.Clamp(nv)
+	}
+	out := hw.MemConfig{Kind: ms.Kind, GlobalBytes: jitter(ms.Global, m.GlobalBytes)}
+	if ms.Kind == hw.SeparateBuffer {
+		out.WeightBytes = jitter(ms.Weight, m.WeightBytes)
+	}
+	return out
+}
+
+// splitRandom splits subgraph s of p into a random connected region and the
+// remainder (the remainder's components are separated by the repair step).
+func splitRandom(g *graph.Graph, rng *rand.Rand, p *partition.Partition, s int) (*partition.Partition, error) {
+	members := p.Members(s)
+	if len(members) < 2 {
+		return p, nil
+	}
+	inSub := make(map[int]bool, len(members))
+	for _, id := range members {
+		inSub[id] = true
+	}
+	// Grow a connected region of random target size from a random seed.
+	target := 1 + rng.Intn(len(members)-1)
+	seed := members[rng.Intn(len(members))]
+	region := map[int]bool{seed: true}
+	frontier := []int{seed}
+	for len(region) < target && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		u := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, v := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
+			if inSub[v] && !region[v] {
+				region[v] = true
+				frontier = append(frontier, v)
+				if len(region) >= target {
+					break
+				}
+			}
+		}
+	}
+	var partA, partB []int
+	for _, id := range members {
+		if region[id] {
+			partA = append(partA, id)
+		} else {
+			partB = append(partB, id)
+		}
+	}
+	if len(partA) == 0 || len(partB) == 0 {
+		return p, nil
+	}
+	return p.TrySplit(s, [][]int{partA, partB})
+}
+
+// multiNodeSubgraphs lists subgraph ids with at least two members.
+func multiNodeSubgraphs(p *partition.Partition) []int {
+	var out []int
+	for s, members := range p.Subgraphs() {
+		if len(members) >= 2 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// quotientNeighbors lists subgraphs connected to s by at least one graph
+// edge, in ascending order.
+func quotientNeighbors(g *graph.Graph, p *partition.Partition, s int) []int {
+	seen := map[int]bool{}
+	for _, u := range p.Members(s) {
+		for _, v := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
+			t := p.Of(v)
+			if t != partition.Unassigned && t != s {
+				seen[t] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,440 @@
+// Package eval is the evaluation environment of the paper (§4.4.4, §5.1.2):
+// a modified Timeloop/MAESTRO-style analytic simulator that, given a graph
+// partition and a memory configuration, reports external memory access
+// (EMA), energy, latency, and bandwidth requirements, and checks buffer
+// feasibility through the consumption-centric tiling footprints.
+//
+// Per-subgraph raw costs depend only on the subgraph's member set, so they
+// are memoized aggressively — the genetic search re-evaluates overlapping
+// subgraphs constantly and the cache is what makes 10^5-sample searches
+// cheap.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cocco/internal/graph"
+	"cocco/internal/hw"
+	"cocco/internal/mapper"
+	"cocco/internal/partition"
+	"cocco/internal/tiling"
+)
+
+// Metric selects the mapping-cost metric M of the paper's cost functions.
+type Metric int
+
+const (
+	// MetricEMA optimizes external memory access bytes (Formula 1 with
+	// M = EMA; used in §5.2).
+	MetricEMA Metric = iota
+	// MetricEnergy optimizes energy in pJ (used in §5.3).
+	MetricEnergy
+)
+
+func (m Metric) String() string {
+	if m == MetricEnergy {
+		return "energy"
+	}
+	return "EMA"
+}
+
+// Objective is the optimization objective. With Alpha == 0 it is the
+// partition-only Formula 1; with Alpha > 0 it is the co-exploration
+// Formula 2: BUF_SIZE + α·ΣCost_M (buffer size in bytes, energy in pJ).
+type Objective struct {
+	Metric Metric
+	Alpha  float64
+}
+
+// SubgraphCost holds the partition-independent raw costs of one subgraph.
+type SubgraphCost struct {
+	// Members are the subgraph's node ids (ascending).
+	Members []int
+
+	// WeightBytes is the total weight footprint (and weight EMA per pass).
+	WeightBytes int64
+	// InBytes is the activation bytes loaded from DRAM (external producers'
+	// tensors, each loaded exactly once thanks to full on-chip reuse).
+	InBytes int64
+	// OutBytes is the activation bytes written back to DRAM (tensors
+	// consumed by later subgraphs or model outputs).
+	OutBytes int64
+	// ActFootprint is the on-chip activation requirement from the
+	// consumption-centric scheme (MAIN+SIDE over all nodes).
+	ActFootprint int64
+	// MACs is the subgraph's multiply-accumulate count.
+	MACs int64
+	// ComputeCycles is the single-core, batch-1 compute time under each
+	// layer's best PE-array mapping (internal/mapper).
+	ComputeCycles int64
+	// GLBAccessBytes approximates global-buffer traffic: every produced or
+	// loaded byte written once, plus reads per consumer edge scaled by the
+	// consumer's window-overlap factor.
+	GLBAccessBytes int64
+
+	// Err is non-nil if the tiling derivation failed; such a subgraph is
+	// never feasible.
+	Err error
+}
+
+// EMABytes is the subgraph's external traffic for one sample.
+func (c *SubgraphCost) EMABytes() int64 { return c.WeightBytes + c.InBytes + c.OutBytes }
+
+// Evaluator evaluates partitions of one graph on one platform.
+// It is safe for concurrent use.
+type Evaluator struct {
+	g        *graph.Graph
+	platform hw.Platform
+	tcfg     tiling.Config
+	prefetch bool
+
+	mu    sync.Mutex
+	cache map[string]*SubgraphCost
+	hits  int64
+	calls int64
+}
+
+// EnablePrefetchCheck makes feasibility account for the weight prefetch of
+// §5.1.2 ("prefetch weights of the next subgraph during the current
+// computing"): consecutive multi-layer subgraphs must fit both weight sets
+// in the weight buffer simultaneously. Off by default (single-buffered
+// weights), matching the evaluation's main configuration; the ablation
+// benchmarks quantify the difference. Call before the first evaluation.
+func (e *Evaluator) EnablePrefetchCheck() { e.prefetch = true }
+
+// New returns an Evaluator for g on the given platform.
+func New(g *graph.Graph, p hw.Platform, tcfg tiling.Config) (*Evaluator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{g: g, platform: p, tcfg: tcfg, cache: map[string]*SubgraphCost{}}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(g *graph.Graph, p hw.Platform, tcfg tiling.Config) *Evaluator {
+	e, err := New(g, p, tcfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Graph returns the evaluated graph.
+func (e *Evaluator) Graph() *graph.Graph { return e.g }
+
+// Platform returns the platform.
+func (e *Evaluator) Platform() hw.Platform { return e.platform }
+
+// CacheStats reports memoization effectiveness (hits, total lookups).
+func (e *Evaluator) CacheStats() (hits, calls int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.calls
+}
+
+func memberKey(members []int) string {
+	b := make([]byte, 0, len(members)*3)
+	for _, id := range members {
+		b = append(b, byte(id>>16), byte(id>>8), byte(id))
+	}
+	return string(b)
+}
+
+// Subgraph computes (or returns the memoized) raw cost of the subgraph with
+// the given member ids. Members need not be sorted.
+func (e *Evaluator) Subgraph(members []int) *SubgraphCost {
+	m := append([]int(nil), members...)
+	sort.Ints(m)
+	key := memberKey(m)
+
+	e.mu.Lock()
+	e.calls++
+	if c, ok := e.cache[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return c
+	}
+	e.mu.Unlock()
+
+	c := e.computeSubgraph(m)
+
+	e.mu.Lock()
+	e.cache[key] = c
+	e.mu.Unlock()
+	return c
+}
+
+func (e *Evaluator) computeSubgraph(members []int) *SubgraphCost {
+	c := &SubgraphCost{Members: members}
+	inSet := make(map[int]bool, len(members))
+	for _, id := range members {
+		inSet[id] = true
+	}
+
+	scheme, err := tiling.Derive(e.g, members, e.tcfg)
+	if err != nil {
+		c.Err = fmt.Errorf("eval: subgraph %v: %w", members, err)
+		return c
+	}
+	c.ActFootprint = scheme.TotalFootprintBytes(e.g)
+
+	seenExt := map[int]bool{}
+	for _, id := range members {
+		n := e.g.Node(id)
+		c.WeightBytes += n.WeightBytes()
+		c.MACs += n.MACs()
+		c.ComputeCycles += mapper.NodeCycles(e.platform.Core, n)
+
+		// Inputs: external producers, each counted once.
+		for _, p := range e.g.Pred(id) {
+			if !inSet[p] && !seenExt[p] {
+				seenExt[p] = true
+				c.InBytes += e.g.Node(p).OutBytes()
+			}
+		}
+		// Outputs: consumed outside the subgraph or a model output.
+		out := len(e.g.Succ(id)) == 0
+		for _, s := range e.g.Succ(id) {
+			if !inSet[s] {
+				out = true
+				break
+			}
+		}
+		if out {
+			c.OutBytes += n.OutBytes()
+		}
+	}
+
+	// Global-buffer traffic: every byte produced in (or loaded into) the
+	// buffer is written once; every consumer reads its producer's tensor
+	// with the window-overlap replication factor ceil(F/s) per dimension.
+	c.GLBAccessBytes = c.InBytes
+	for _, id := range members {
+		n := e.g.Node(id)
+		c.GLBAccessBytes += n.OutBytes() // write of produced tile stream
+		rep := int64(ceilDiv(n.KernelH, n.StrideH)) * int64(ceilDiv(n.KernelW, n.StrideW))
+		for _, p := range e.g.Pred(id) {
+			c.GLBAccessBytes += e.g.Node(p).OutBytes() * rep
+		}
+	}
+	return c
+}
+
+// Fits reports whether the subgraph fits the memory configuration:
+// activations in the global buffer and weights in the weight buffer for the
+// separate design, or their sum in the shared capacity.
+//
+// Single-layer subgraphs always fit: a lone layer falls back to classic
+// layer-level output-tiled execution (§2.2.1), which handles tensors and
+// weights of any size by streaming — with the same EMA as our model already
+// charges (weights, inputs, and outputs each move once).
+func (e *Evaluator) Fits(c *SubgraphCost, mem hw.MemConfig) bool {
+	if c.Err != nil {
+		return false
+	}
+	if len(c.Members) == 1 {
+		return true
+	}
+	if mem.Kind == hw.SharedBuffer {
+		return c.ActFootprint+c.WeightBytes <= mem.GlobalBytes
+	}
+	return c.ActFootprint <= mem.GlobalBytes && c.WeightBytes <= mem.WeightBytes
+}
+
+// Result is the full evaluation of a partition under a memory configuration.
+type Result struct {
+	// EMABytes is total external traffic (weights once per subgraph,
+	// activations scaled by batch).
+	EMABytes int64
+	// EnergyPJ is total energy: DRAM + buffers + MACs + crossbar.
+	EnergyPJ float64
+	// LatencyCycles is the end-to-end latency in core cycles.
+	LatencyCycles int64
+	// AvgBWBytesPerSec is EMABytes divided by the latency in seconds.
+	AvgBWBytesPerSec float64
+	// MaxActFootprint and MaxWgtFootprint are the largest per-subgraph
+	// buffer requirements (per core).
+	MaxActFootprint int64
+	MaxWgtFootprint int64
+	// Infeasible lists subgraph ids that do not fit the memory config.
+	Infeasible []int
+	// NumSubgraphs echoes the partition size.
+	NumSubgraphs int
+}
+
+// Feasible reports whether every subgraph fits.
+func (r *Result) Feasible() bool { return len(r.Infeasible) == 0 }
+
+// LatencySeconds converts the cycle count at the platform frequency.
+func (e *Evaluator) LatencySeconds(cycles int64) float64 {
+	return float64(cycles) / float64(e.platform.Core.FreqHz)
+}
+
+// Contribution is one subgraph's share of the partition-level result under
+// a given memory configuration, with multi-core and batch semantics applied.
+type Contribution struct {
+	EMABytes      int64
+	EnergyPJ      float64
+	LatencyCycles int64
+	WgtPerCore    int64
+	Fits          bool
+}
+
+// Contribution computes the subgraph's cost share under mem. Multi-core and
+// batch semantics follow §5.4.2–5.4.3: the subgraph's weights are sharded
+// across cores and rotated over the crossbar; batch samples reuse the
+// resident weights and are spread over cores.
+func (e *Evaluator) Contribution(c *SubgraphCost, mem hw.MemConfig) Contribution {
+	cores := int64(e.platform.Cores)
+	batch := int64(e.platform.Batch)
+	en := e.platform.Energy
+	core := e.platform.Core
+
+	glbCap := mem.GlobalBytes
+	wgtCap := mem.WeightBytes
+	if mem.Kind == hw.SharedBuffer {
+		wgtCap = mem.GlobalBytes
+	}
+
+	var out Contribution
+	out.WgtPerCore = ceilDiv64(c.WeightBytes, cores)
+	out.Fits = c.Err == nil
+	if out.Fits && len(c.Members) > 1 {
+		if mem.Kind == hw.SharedBuffer {
+			out.Fits = c.ActFootprint+out.WgtPerCore <= mem.GlobalBytes
+		} else {
+			out.Fits = c.ActFootprint <= mem.GlobalBytes && out.WgtPerCore <= mem.WeightBytes
+		}
+	}
+
+	actBytes := (c.InBytes + c.OutBytes) * batch
+	out.EMABytes = c.WeightBytes + actBytes
+
+	// Energy: DRAM for all external traffic; crossbar for weight rotation
+	// (each weight byte traverses cores-1 hops to visit every core); buffer
+	// accesses; MACs.
+	out.EnergyPJ = en.DRAMBytes(out.EMABytes)
+	if cores > 1 {
+		out.EnergyPJ += en.Crossbar(c.WeightBytes * (cores - 1))
+	}
+	out.EnergyPJ += en.SRAMBytes(c.GLBAccessBytes*batch, glbCap)
+	out.EnergyPJ += en.SRAMBytes(c.WeightBytes, wgtCap)
+	out.EnergyPJ += en.MACs(c.MACs * batch)
+
+	// Latency: compute spread over cores vs DRAM traffic over the
+	// per-core 16 GB/s channels (each core loads its own shard/samples).
+	// Compute cycles come from each layer's best PE-array mapping
+	// (internal/mapper), derated further by the platform's residual
+	// utilization factor for mapping losses the spatial model cannot see.
+	compute := float64(c.ComputeCycles*batch) / core.Utilization
+	computeCy := ceilDiv64(int64(compute), cores)
+	dram := core.DRAMCycles(ceilDiv64(out.EMABytes, cores))
+	out.LatencyCycles = maxI64(computeCy, dram)
+	return out
+}
+
+// SubgraphMetric returns the subgraph's contribution to the given metric
+// under mem, as summed by Partition. Greedy/DP/enumeration baselines use
+// this to score candidate subgraphs locally (the metrics decompose as sums
+// over subgraphs).
+func (e *Evaluator) SubgraphMetric(c *SubgraphCost, mem hw.MemConfig, m Metric) float64 {
+	ctr := e.Contribution(c, mem)
+	if m == MetricEnergy {
+		return ctr.EnergyPJ
+	}
+	return float64(ctr.EMABytes)
+}
+
+// Partition evaluates the whole partition under mem by summing per-subgraph
+// contributions.
+func (e *Evaluator) Partition(p *partition.Partition, mem hw.MemConfig) *Result {
+	res := &Result{NumSubgraphs: p.NumSubgraphs()}
+	subs := p.Subgraphs()
+	infeasible := make([]bool, len(subs))
+	costs := make([]*SubgraphCost, len(subs))
+	wgts := make([]int64, len(subs))
+	for si, members := range subs {
+		c := e.Subgraph(members)
+		costs[si] = c
+		ctr := e.Contribution(c, mem)
+		wgts[si] = ctr.WgtPerCore
+		if c.ActFootprint > res.MaxActFootprint {
+			res.MaxActFootprint = c.ActFootprint
+		}
+		if ctr.WgtPerCore > res.MaxWgtFootprint {
+			res.MaxWgtFootprint = ctr.WgtPerCore
+		}
+		if !ctr.Fits {
+			infeasible[si] = true
+		}
+		res.EMABytes += ctr.EMABytes
+		res.EnergyPJ += ctr.EnergyPJ
+		res.LatencyCycles += ctr.LatencyCycles
+	}
+	if e.prefetch {
+		// Double-buffered weights: subgraph i and its prefetched successor
+		// i+1 are resident together. Singletons stream (layer-level tiling
+		// fallback) and are exempt, as in Fits.
+		wgtCap := mem.WeightBytes
+		if mem.Kind == hw.SharedBuffer {
+			wgtCap = mem.GlobalBytes
+		}
+		for si := 0; si+1 < len(subs); si++ {
+			if len(costs[si].Members) <= 1 || len(costs[si+1].Members) <= 1 {
+				continue
+			}
+			if wgts[si]+wgts[si+1] > wgtCap {
+				infeasible[si] = true
+			}
+		}
+	}
+	for si, bad := range infeasible {
+		if bad {
+			res.Infeasible = append(res.Infeasible, si)
+		}
+	}
+	if res.LatencyCycles > 0 {
+		res.AvgBWBytesPerSec = float64(res.EMABytes) / e.LatencySeconds(res.LatencyCycles)
+	}
+	return res
+}
+
+// MetricValue extracts the objective metric from a result.
+func (r *Result) MetricValue(m Metric) float64 {
+	if m == MetricEnergy {
+		return r.EnergyPJ
+	}
+	return float64(r.EMABytes)
+}
+
+// Cost evaluates the paper's cost functions for the partition and memory
+// configuration. Infeasible partitions return +Inf-like sentinel via ok =
+// false; callers (the GA) repair rather than rank such genomes.
+func (e *Evaluator) Cost(p *partition.Partition, mem hw.MemConfig, obj Objective) (cost float64, res *Result) {
+	res = e.Partition(p, mem)
+	cost = obj.Alpha * res.MetricValue(obj.Metric)
+	if obj.Alpha == 0 {
+		cost = res.MetricValue(obj.Metric)
+	} else {
+		cost += float64(mem.TotalBytes())
+	}
+	return cost, res
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cocco/internal/baselines"
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/report"
+)
+
+// ConvergenceCurve is one method's best-so-far cost sampled along the
+// search (Figure 12 a–c).
+type ConvergenceCurve struct {
+	Model, Method string
+	Samples       []int
+	BestCost      []float64
+}
+
+// Fig12Result bundles the curves and the samples-to-threshold table
+// (Figure 12 d).
+type Fig12Result struct {
+	Curves []ConvergenceCurve
+	// SamplesTo105 maps model → method → samples needed to reach 1.05× of
+	// Cocco's final cost (0 if never reached within the budget).
+	SamplesTo105 map[string]map[string]int
+}
+
+// Figure12 runs the sample-efficiency study: the two-step schemes
+// (Buf(S/M/L)+GA, RS+GA, GS+GA) and the co-optimizers (SA, Cocco) on
+// ResNet50, GoogleNet, and RandWire, recording cost-vs-samples curves and
+// the samples needed to attain 1.05× of Cocco's final result.
+func Figure12(cfg Config) (*Fig12Result, string) {
+	modelsUnderTest := []string{"resnet50", "googlenet", "randwire-a"}
+	obj := eval.Objective{Metric: eval.MetricEnergy, Alpha: PaperAlpha}
+	grange, wrange := hw.PaperGlobalRange(), hw.PaperWeightRange()
+	stride := maxInt(cfg.CoOptSamples/100, 1)
+
+	res := &Fig12Result{SamplesTo105: map[string]map[string]int{}}
+	methods := []string{"Buf(S)+GA", "Buf(M)+GA", "Buf(L)+GA", "RS+GA", "GS+GA", "SA", "Cocco"}
+
+	for _, m := range modelsUnderTest {
+		ev := evaluatorFor(m, platform1())
+		res.SamplesTo105[m] = map[string]int{}
+		var coccoFinal float64
+
+		for _, method := range methods {
+			curve := ConvergenceCurve{Model: m, Method: method}
+			best := math.Inf(1)
+			trace := func(tp core.TracePoint) {
+				// For fixed-HW and two-step runs the cost has been re-based
+				// to Formula 2 with the run's capacity; infeasible samples
+				// keep their sentinel and never improve `best`.
+				if tp.Feasible && tp.Cost < best {
+					best = tp.Cost
+				}
+				if tp.Sample%stride == 0 {
+					curve.Samples = append(curve.Samples, tp.Sample)
+					curve.BestCost = append(curve.BestCost, best)
+				}
+			}
+			runConvergenceMethod(ev, cfg, obj, method, grange, wrange, trace)
+			res.Curves = append(res.Curves, curve)
+			if method == "Cocco" {
+				coccoFinal = best
+			}
+		}
+
+		// Samples to 1.05× of Cocco's final cost (Figure 12d).
+		threshold := coccoFinal * 1.05
+		for _, c := range res.Curves {
+			if c.Model != m {
+				continue
+			}
+			hit := 0
+			for i, v := range c.BestCost {
+				if v <= threshold {
+					hit = c.Samples[i]
+					break
+				}
+			}
+			res.SamplesTo105[m][c.Method] = hit
+		}
+	}
+
+	t := report.NewTable("Figure 12(d): samples to reach 1.05× of Cocco's final cost (0 = not reached)",
+		append([]string{"model"}, methods...)...)
+	for _, m := range modelsUnderTest {
+		row := []any{m}
+		for _, method := range methods {
+			row = append(row, res.SamplesTo105[m][method])
+		}
+		t.AddRow(row...)
+	}
+	out := t.String()
+	out += "convergence curves (CSV):\n"
+	for _, c := range res.Curves {
+		s := report.Series{Name: fmt.Sprintf("%s/%s", c.Model, c.Method),
+			XLabel: "samples", YLabel: "best cost"}
+		for i := range c.Samples {
+			s.Add(float64(c.Samples[i]), c.BestCost[i])
+		}
+		out += s.CSV()
+	}
+	return res, out
+}
+
+// runConvergenceMethod executes one method with the trace hook attached.
+// Fixed-HW variants run a partition-only GA under the named capacity; the
+// trace cost for those is re-based to Formula 2 with that capacity.
+func runConvergenceMethod(ev *eval.Evaluator, cfg Config, obj eval.Objective, method string,
+	grange, wrange hw.MemRange, trace func(core.TracePoint)) {
+
+	fixedTrace := func(mem hw.MemConfig) func(core.TracePoint) {
+		return func(tp core.TracePoint) {
+			if tp.Feasible {
+				tp.Cost = float64(mem.TotalBytes()) + obj.Alpha*tp.Metric
+			}
+			trace(tp)
+		}
+	}
+	fixedRun := func(gKB, wKB int64) {
+		mem := hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: gKB * hw.KiB, WeightBytes: wKB * hw.KiB}
+		_, _, _ = core.Run(ev, core.Options{
+			Seed: cfg.Seed, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
+			Objective: eval.Objective{Metric: obj.Metric},
+			Mem:       core.MemSearch{Fixed: mem},
+			Trace:     fixedTrace(mem),
+		})
+	}
+
+	switch method {
+	case "Buf(S)+GA":
+		fixedRun(512, 576)
+	case "Buf(M)+GA":
+		fixedRun(1024, 1152)
+	case "Buf(L)+GA":
+		fixedRun(2048, 2304)
+	case "RS+GA", "GS+GA":
+		sm := baselines.RandomSearch
+		if method == "GS+GA" {
+			sm = baselines.GridSearch
+		}
+		_, _ = baselines.TwoStep(ev, baselines.TwoStepOptions{
+			Seed: cfg.Seed, Method: sm,
+			Candidates:          cfg.TwoStepCandidates,
+			SamplesPerCandidate: cfg.CoOptSamples / maxInt(cfg.TwoStepCandidates, 1),
+			Kind:                hw.SeparateBuffer, Global: grange, Weight: wrange,
+			Objective: obj, Trace: trace,
+		})
+	case "SA":
+		_, _ = baselines.SA(ev, baselines.SAOptions{
+			Seed: cfg.Seed, MaxSamples: cfg.CoOptSamples, Objective: obj,
+			Mem:   core.MemSearch{Search: true, Kind: hw.SeparateBuffer, Global: grange, Weight: wrange},
+			Trace: trace,
+		})
+	case "Cocco":
+		_, _, _ = core.Run(ev, core.Options{
+			Seed: cfg.Seed, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
+			Objective: obj,
+			Mem:       core.MemSearch{Search: true, Kind: hw.SeparateBuffer, Global: grange, Weight: wrange},
+			Trace:     trace,
+		})
+	}
+}

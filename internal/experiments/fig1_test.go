@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1SweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
+	pts, text := Figure1Sweep(tinyCfg(), "resnet50")
+	if len(pts) != 7 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// EMA must be non-increasing in capacity (more buffer never hurts; the
+	// search is stochastic, so allow 2% noise) and the largest capacity must
+	// be substantially below the smallest (the Figure 1 trade-off).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EMAMB > pts[i-1].EMAMB*1.02 {
+			t.Errorf("EMA rose with capacity: %.2f @%dKB -> %.2f @%dKB",
+				pts[i-1].EMAMB, pts[i-1].CapacityKB, pts[i].EMAMB, pts[i].CapacityKB)
+		}
+	}
+	if pts[len(pts)-1].EMAMB > 0.8*pts[0].EMAMB {
+		t.Errorf("no meaningful EMA reduction across the sweep: %.2f -> %.2f",
+			pts[0].EMAMB, pts[len(pts)-1].EMAMB)
+	}
+	if !strings.Contains(text, "fig1-resnet50") {
+		t.Error("missing CSV series")
+	}
+}
+
+func TestAblationPrefetchTightens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
+	rows, _ := AblationPrefetch(tinyCfg())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byModel := map[string]map[bool]AblationPrefetchRow{}
+	for _, r := range rows {
+		if byModel[r.Model] == nil {
+			byModel[r.Model] = map[bool]AblationPrefetchRow{}
+		}
+		byModel[r.Model][r.Prefetch] = r
+	}
+	for m, v := range byModel {
+		// The prefetch constraint only shrinks the feasible space, so the
+		// optimized cost cannot improve (small tolerance for search noise).
+		if v[true].CostFormula2 < v[false].CostFormula2*0.98 {
+			t.Errorf("%s: prefetch constraint improved cost %.4g -> %.4g",
+				m, v[false].CostFormula2, v[true].CostFormula2)
+		}
+	}
+}

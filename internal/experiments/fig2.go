@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cocco/internal/report"
+)
+
+// NPUSurveyEntry is one industrial accelerator from the paper's Figure 2
+// survey: performance, on-chip memory capacity, and the SRAM share of die
+// area.
+type NPUSurveyEntry struct {
+	Name          string
+	Domain        string // "inference" or "training"
+	TFLOPS        float64
+	OnChipMB      float64
+	SRAMAreaRatio float64 // percent
+}
+
+// NPUSurvey returns the sixteen accelerators of Figure 2 with the SRAM area
+// ratios the paper tabulates.
+func NPUSurvey() []NPUSurveyEntry {
+	return []NPUSurveyEntry{
+		{"T4", "inference", 65, 10, 3.96},
+		{"NVDLA", "inference", 1, 2.5, 13.79},
+		{"TPUv4i", "inference", 138, 144, 14.70},
+		{"FSD", "inference", 73.7, 64, 20.10},
+		{"NNP-I", "inference", 92, 75, 27.46},
+		{"Groq", "inference", 250, 220, 32.39},
+		{"Hanguang", "inference", 825, 394, 36.86},
+		{"Ascend910", "training", 320, 32, 8.60},
+		{"TPUv2", "training", 46, 32, 10.92},
+		{"Qualcomm-100", "training", 100, 144, 11.76},
+		{"NNP-T", "training", 119, 60, 18.60},
+		{"Wormhole", "training", 86, 120, 18.68},
+		{"Grayskull", "training", 92, 120, 23.22},
+		{"Dojo", "training", 362, 440, 28.01},
+		{"IPUv2", "training", 250, 896, 40.65},
+		{"IPUv1", "training", 125, 304, 78.80},
+	}
+}
+
+// Figure2 renders the survey: performance vs on-chip capacity plus the SRAM
+// area-ratio table, and the two survey observations the paper draws.
+func Figure2() string {
+	t := report.NewTable("Figure 2: industrial NPU survey (perf vs memory, SRAM area ratio)",
+		"chip", "domain", "TFLOPS", "on-chip(MB)", "SRAM-area(%)")
+	minRatio, maxRatio := 100.0, 0.0
+	minCap, maxCap := 1e12, 0.0
+	for _, e := range NPUSurvey() {
+		t.AddRow(e.Name, e.Domain, e.TFLOPS, e.OnChipMB, e.SRAMAreaRatio)
+		minRatio = minF(minRatio, e.SRAMAreaRatio)
+		maxRatio = maxF(maxRatio, e.SRAMAreaRatio)
+		minCap = minF(minCap, e.OnChipMB)
+		maxCap = maxF(maxCap, e.OnChipMB)
+	}
+	out := t.String()
+	out += fmt.Sprintf("observation 1: SRAM occupies %.1f%%–%.1f%% of die area, capacities %.1fMB–%.0fMB\n",
+		minRatio, maxRatio, minCap, maxCap)
+	out += "observation 2: performance shows diminishing marginal benefit of capacity (see CSV series)\n"
+
+	s := report.Series{Name: "fig2-perf-vs-capacity", XLabel: "on-chip MB", YLabel: "TFLOPS"}
+	for _, e := range NPUSurvey() {
+		s.Add(e.OnChipMB, e.TFLOPS)
+	}
+	return out + s.CSV()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func diamond(t *testing.T) (*Graph, []int) {
+	t.Helper()
+	b := NewBuilder("diamond")
+	in := b.Input("in", 3, 32, 32)
+	c1 := b.Conv("c1", in, 16, 3, 1)
+	l := b.Conv("l", c1, 16, 3, 1)
+	r := b.Conv("r", c1, 16, 1, 1)
+	add := b.Eltwise("add", l, r)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []int{in, c1, l, r, add}
+}
+
+func TestBuilderShapes(t *testing.T) {
+	b := NewBuilder("shapes")
+	in := b.Input("in", 3, 224, 224)
+	c1 := b.Conv("c1", in, 64, 7, 2)
+	p1 := b.Pool("p1", c1, 3, 2)
+	d1 := b.DWConv("d1", p1, 3, 1)
+	g := b.MustFinalize()
+
+	n := g.Node(c1)
+	if n.OutH != 112 || n.OutW != 112 || n.OutC != 64 {
+		t.Errorf("conv shape = %dx%dx%d", n.OutH, n.OutW, n.OutC)
+	}
+	if got := g.Node(p1); got.OutH != 56 || got.OutC != 64 {
+		t.Errorf("pool shape = %dx%d c=%d", got.OutH, got.OutW, got.OutC)
+	}
+	if got := g.Node(d1); got.OutC != 64 || got.Kind != OpDWConv {
+		t.Errorf("dwconv = %+v", got)
+	}
+}
+
+func TestNodeDerivedQuantities(t *testing.T) {
+	n := &Node{Kind: OpConv, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2,
+		InC: 16, OutC: 32, OutH: 10, OutW: 10}
+	if got := n.WeightBytes(); got != 3*3*16*32 {
+		t.Errorf("WeightBytes = %d", got)
+	}
+	if got := n.MACs(); got != 10*10*3*3*16*32 {
+		t.Errorf("MACs = %d", got)
+	}
+	if got := n.OutBytes(); got != 10*10*32 {
+		t.Errorf("OutBytes = %d", got)
+	}
+	if got := n.InH(); got != 3+9*2 {
+		t.Errorf("InH = %d", got)
+	}
+	dw := &Node{Kind: OpDWConv, KernelH: 3, KernelW: 3, OutC: 32, OutH: 4, OutW: 4, StrideH: 1, StrideW: 1}
+	if got := dw.WeightBytes(); got != 3*3*32 {
+		t.Errorf("dw WeightBytes = %d", got)
+	}
+	pool := &Node{Kind: OpPool, KernelH: 2, KernelW: 2, OutC: 8, OutH: 4, OutW: 4, StrideH: 2, StrideW: 2}
+	if pool.WeightBytes() != 0 {
+		t.Error("pool should have no weights")
+	}
+	if pool.Kind.HasWeights() {
+		t.Error("pool kind should not have weights")
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g, ids := diamond(t)
+	in, c1, l, r, add := ids[0], ids[1], ids[2], ids[3], ids[4]
+
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Edges() != 5 {
+		t.Errorf("Edges = %d", g.Edges())
+	}
+	if got := g.Succ(c1); len(got) != 2 || got[0] != l || got[1] != r {
+		t.Errorf("Succ(c1) = %v", got)
+	}
+	if got := g.Pred(add); len(got) != 2 {
+		t.Errorf("Pred(add) = %v", got)
+	}
+	if got := g.Outputs(); len(got) != 1 || got[0] != add {
+		t.Errorf("Outputs = %v", got)
+	}
+	if got := g.Inputs(); len(got) != 1 || got[0] != in {
+		t.Errorf("Inputs = %v", got)
+	}
+	if got := g.ComputeNodes(); len(got) != 4 {
+		t.Errorf("ComputeNodes = %v", got)
+	}
+	for i, id := range g.Topo() {
+		if g.Rank(id) != i {
+			t.Errorf("Rank(%d) = %d, want %d", id, g.Rank(id), i)
+		}
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g, _ := diamond(t)
+	for _, u := range g.Topo() {
+		for _, v := range g.Succ(u) {
+			if g.Rank(u) >= g.Rank(v) {
+				t.Errorf("edge %d->%d violates topological order", u, v)
+			}
+		}
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	g, ids := diamond(t)
+	_, c1, l, r, add := ids[0], ids[1], ids[2], ids[3], ids[4]
+
+	cases := []struct {
+		set  []int
+		want bool
+	}{
+		{nil, false},
+		{[]int{c1}, true},
+		{[]int{c1, l}, true},
+		{[]int{l, r}, false}, // siblings: connected only through c1 or add
+		{[]int{l, r, add}, true},
+		{[]int{c1, l, r, add}, true},
+	}
+	for _, c := range cases {
+		set := map[int]bool{}
+		for _, id := range c.set {
+			set[id] = true
+		}
+		if got := g.IsConnected(set); got != c.want {
+			t.Errorf("IsConnected(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g, ids := diamond(t)
+	l, r := ids[2], ids[3]
+	comps := g.ConnectedComponents(map[int]bool{l: true, r: true})
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if comps[0][0] != l || comps[1][0] != r {
+		t.Errorf("components order = %v", comps)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"dup-name", func(b *Builder) {
+			in := b.Input("x", 3, 8, 8)
+			b.Conv("x", in, 4, 3, 1)
+		}, "duplicate"},
+		{"empty-name", func(b *Builder) { b.Input("", 3, 8, 8) }, "empty name"},
+		{"bad-shape", func(b *Builder) { b.Input("in", 0, 8, 8) }, "non-positive output"},
+		{"no-producer", func(b *Builder) {
+			b.Custom("c", OpConv, 3, 1, 3, 4, 8, 8)
+		}, "without producers"},
+		{"bad-producer", func(b *Builder) {
+			in := b.Input("in", 3, 8, 8)
+			_ = in
+			b.Custom("c", OpConv, 3, 1, 3, 4, 8, 8, 99)
+		}, "out of range"},
+		{"eltwise-mismatch", func(b *Builder) {
+			in := b.Input("in", 3, 8, 8)
+			a := b.Conv("a", in, 4, 3, 1)
+			c := b.Conv("c", in, 4, 3, 2)
+			b.Eltwise("e", a, c)
+		}, "shape mismatch"},
+		{"concat-mismatch", func(b *Builder) {
+			in := b.Input("in", 3, 8, 8)
+			a := b.Conv("a", in, 4, 3, 1)
+			c := b.Conv("c", in, 4, 3, 2)
+			b.Concat("e", a, c)
+		}, "spatial mismatch"},
+	}
+	for _, c := range cases {
+		b := NewBuilder(c.name)
+		c.build(b)
+		_, err := b.Finalize()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	if _, err := NewBuilder("empty").Finalize(); err == nil {
+		t.Error("empty graph should fail")
+	}
+	b := NewBuilder("inputs-only")
+	b.Input("in", 3, 8, 8)
+	if _, err := b.Finalize(); err == nil {
+		t.Error("inputs-only graph should fail")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{OpInput: "input", OpConv: "conv", OpMatmul: "matmul"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if OpKind(99).String() != "OpKind(99)" {
+		t.Errorf("unknown kind: %s", OpKind(99))
+	}
+}
+
+// TestConnectedComponentsPartitionProperty checks (via testing/quick) that
+// splitting any random node subset into components yields disjoint connected
+// parts that cover the subset.
+func TestConnectedComponentsPartitionProperty(t *testing.T) {
+	g, ids := diamond(t)
+	f := func(mask uint8) bool {
+		set := map[int]bool{}
+		for i, id := range ids {
+			if mask&(1<<uint(i)) != 0 {
+				set[id] = true
+			}
+		}
+		comps := g.ConnectedComponents(set)
+		total := 0
+		seen := map[int]bool{}
+		for _, comp := range comps {
+			cs := map[int]bool{}
+			for _, id := range comp {
+				if !set[id] || seen[id] {
+					return false
+				}
+				seen[id] = true
+				cs[id] = true
+				total++
+			}
+			if !g.IsConnected(cs) {
+				return false
+			}
+		}
+		return total == len(set)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustFinalizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinalize should panic on invalid graph")
+		}
+	}()
+	NewBuilder("bad").MustFinalize()
+}

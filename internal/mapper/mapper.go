@@ -1,0 +1,193 @@
+// Package mapper is the single-layer mapper the paper's stage-1 relies on
+// ("the tile size is optimized for higher computation utilization",
+// Figure 5) and the evaluation platform's dynamic PE configuration ("the
+// parallelism of two dimensions of the PE array can be dynamically
+// configured by the mapper results to ensure high utilization", §5.1.2).
+//
+// For a Simba-like core — a PERows×PECols PE array where each PE holds a
+// MACRows×MACCols multiplier array — the mapper assigns two tensor
+// dimensions to the PE array's rows and columns and the channel dimensions
+// to the MAC array, then scores the assignment by multiplier utilization.
+// The derived per-layer utilization feeds the evaluator's compute-cycle
+// model, and the preferred spatial tile feeds stage-1 of the tiling flow.
+package mapper
+
+import (
+	"fmt"
+
+	"cocco/internal/graph"
+	"cocco/internal/hw"
+)
+
+// Dim names a tensor dimension assignable to a spatial axis of the PE array.
+type Dim int
+
+const (
+	// DimH is the output height.
+	DimH Dim = iota
+	// DimW is the output width.
+	DimW
+	// DimC is the output-channel dimension.
+	DimC
+	// DimK is the input-channel dimension.
+	DimK
+)
+
+var dimNames = map[Dim]string{DimH: "H", DimW: "W", DimC: "C", DimK: "K"}
+
+func (d Dim) String() string {
+	if s, ok := dimNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("Dim(%d)", int(d))
+}
+
+// Mapping is one layer's spatial assignment and its predicted efficiency.
+type Mapping struct {
+	// RowDim/ColDim are the tensor dimensions mapped onto the PE array's
+	// rows and columns.
+	RowDim, ColDim Dim
+	// Utilization is the fraction of multipliers doing useful work under
+	// this assignment (0, 1].
+	Utilization float64
+	// TileH and TileW are the output tile the assignment prefers: the
+	// spatial extents covered by one PE-array pass (each ≥ 1).
+	TileH, TileW int
+}
+
+// dimExtent returns the size of dimension d for node n.
+func dimExtent(n *graph.Node, d Dim) int {
+	switch d {
+	case DimH:
+		return n.OutH
+	case DimW:
+		return n.OutW
+	case DimC:
+		return n.OutC
+	default:
+		return n.InC
+	}
+}
+
+// axisUtil is the utilization of packing extent e onto `lanes` parallel
+// lanes: the last pass is partially filled.
+func axisUtil(e, lanes int) float64 {
+	if e <= 0 || lanes <= 0 {
+		return 0
+	}
+	passes := (e + lanes - 1) / lanes
+	return float64(e) / float64(passes*lanes)
+}
+
+// Best searches the spatial-assignment space for node n on the core and
+// returns the highest-utilization mapping. Depth-wise and weight-less layers
+// have no independent input-channel dimension, so DimK is excluded for them.
+func Best(core hw.Core, n *graph.Node) Mapping {
+	cands := []Dim{DimH, DimW, DimC}
+	if n.Kind == graph.OpConv || n.Kind == graph.OpMatmul {
+		cands = append(cands, DimK)
+	}
+	best := Mapping{Utilization: -1}
+	for _, rd := range cands {
+		for _, cd := range cands {
+			if rd == cd {
+				continue
+			}
+			// The MAC array works the channel dims not already spatialized;
+			// its utilization depends on the channel extents.
+			macU := macUtilization(core, n, rd, cd)
+			u := axisUtil(dimExtent(n, rd), core.PERows) *
+				axisUtil(dimExtent(n, cd), core.PECols) * macU
+			if u > best.Utilization {
+				best = Mapping{RowDim: rd, ColDim: cd, Utilization: u}
+				best.TileH, best.TileW = preferredTile(core, n, rd, cd)
+			}
+		}
+	}
+	if best.Utilization <= 0 {
+		// Degenerate shapes (1×1×1): fall back to a serial mapping.
+		best = Mapping{RowDim: DimH, ColDim: DimW, Utilization: 1 / float64(core.MACsPerCycle()), TileH: 1, TileW: 1}
+	}
+	return best
+}
+
+// macUtilization scores how well the per-PE MAC array is fed: the input and
+// output channel extents not used spatially are blocked over the MAC rows
+// and columns.
+func macUtilization(core hw.Core, n *graph.Node, rd, cd Dim) float64 {
+	inC, outC := n.InC, n.OutC
+	if rd == DimK || cd == DimK {
+		inC = 1 // consumed by the PE array
+	}
+	if rd == DimC || cd == DimC {
+		outC = 1
+	}
+	switch n.Kind {
+	case graph.OpConv, graph.OpMatmul:
+		return axisUtil(inC, core.MACRows) * axisUtil(outC, core.MACCols)
+	default:
+		// Depth-wise kinds stream one channel per lane pair.
+		return axisUtil(outC, core.MACRows*core.MACCols)
+	}
+}
+
+// preferredTile is the output tile one PE pass covers: the PE lanes along
+// each spatialized dimension, clamped to the tensor.
+func preferredTile(core hw.Core, n *graph.Node, rd, cd Dim) (h, w int) {
+	h, w = 1, 1
+	if rd == DimH {
+		h = minInt(core.PERows, n.OutH)
+	}
+	if cd == DimH {
+		h = minInt(core.PECols, n.OutH)
+	}
+	if rd == DimW {
+		w = minInt(core.PERows, n.OutW)
+	}
+	if cd == DimW {
+		w = minInt(core.PECols, n.OutW)
+	}
+	return h, w
+}
+
+// GraphUtilization returns the MAC-weighted mean utilization over all
+// compute nodes — the effective derate the evaluator applies to the core's
+// peak throughput.
+func GraphUtilization(core hw.Core, g *graph.Graph) float64 {
+	var num, den float64
+	for _, id := range g.ComputeNodes() {
+		n := g.Node(id)
+		macs := float64(n.MACs())
+		if macs <= 0 {
+			continue
+		}
+		num += macs * Best(core, n).Utilization
+		den += macs
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// NodeCycles returns the compute cycles of node n on the core under its best
+// mapping.
+func NodeCycles(core hw.Core, n *graph.Node) int64 {
+	u := Best(core, n).Utilization
+	eff := float64(core.MACsPerCycle()) * u
+	if eff <= 0 {
+		return n.MACs()
+	}
+	c := float64(n.MACs()) / eff
+	if c != float64(int64(c)) {
+		return int64(c) + 1
+	}
+	return int64(c)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

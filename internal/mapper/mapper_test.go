@@ -1,0 +1,132 @@
+package mapper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cocco/internal/graph"
+	"cocco/internal/hw"
+	"cocco/internal/models"
+)
+
+func conv(outC, inC, h, w, k, s int) *graph.Node {
+	return &graph.Node{Kind: graph.OpConv, KernelH: k, KernelW: k,
+		StrideH: s, StrideW: s, InC: inC, OutC: outC, OutH: h, OutW: w}
+}
+
+func TestAxisUtil(t *testing.T) {
+	cases := []struct {
+		e, lanes int
+		want     float64
+	}{
+		{8, 8, 1.0},
+		{16, 8, 1.0},
+		{4, 8, 0.5},
+		{12, 8, 0.75},
+		{0, 8, 0},
+		{8, 0, 0},
+	}
+	for _, c := range cases {
+		if got := axisUtil(c.e, c.lanes); got != c.want {
+			t.Errorf("axisUtil(%d,%d) = %g, want %g", c.e, c.lanes, got, c.want)
+		}
+	}
+}
+
+func TestBestUtilizationBounds(t *testing.T) {
+	core := hw.DefaultCore()
+	f := func(outC, inC, h, w uint8) bool {
+		n := conv(int(outC%64)+1, int(inC%64)+1, int(h%64)+1, int(w%64)+1, 3, 1)
+		m := Best(core, n)
+		return m.Utilization > 0 && m.Utilization <= 1 &&
+			m.TileH >= 1 && m.TileW >= 1 &&
+			m.TileH <= n.OutH && m.TileW <= n.OutW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWellShapedLayersReachFullUtilization(t *testing.T) {
+	core := hw.DefaultCore()
+	// 64 in/out channels fill the 8×8 MAC array; 56×56 spatial fills the
+	// 4×4 PE array exactly.
+	n := conv(64, 64, 56, 56, 3, 1)
+	m := Best(core, n)
+	if m.Utilization != 1.0 {
+		t.Errorf("well-shaped conv utilization = %g, want 1", m.Utilization)
+	}
+}
+
+func TestAwkwardShapesLoseUtilization(t *testing.T) {
+	core := hw.DefaultCore()
+	// 3 input channels (first layer) cannot fill an 8-lane reduction.
+	first := conv(64, 3, 112, 112, 7, 2)
+	if u := Best(core, first).Utilization; u >= 0.9 {
+		t.Errorf("3-channel conv utilization = %g, expected a packing loss", u)
+	}
+	// A 1×1 spatial FC cannot fill the PE array: the best it can do is run
+	// the wide channel dims on the MAC array (full) while the 4×4 PE array
+	// idles — utilization 1/16.
+	fc := conv(1000, 2048, 1, 1, 1, 1)
+	m := Best(core, fc)
+	if m.Utilization != 1.0/16 {
+		t.Errorf("fc utilization = %g, want 1/16", m.Utilization)
+	}
+}
+
+func TestDepthwiseExcludesInputChannelDim(t *testing.T) {
+	core := hw.DefaultCore()
+	dw := &graph.Node{Kind: graph.OpDWConv, KernelH: 3, KernelW: 3,
+		StrideH: 1, StrideW: 1, InC: 64, OutC: 64, OutH: 28, OutW: 28}
+	m := Best(core, dw)
+	if m.RowDim == DimK || m.ColDim == DimK {
+		t.Errorf("depthwise mapped the reduction dim spatially: %v/%v", m.RowDim, m.ColDim)
+	}
+}
+
+func TestNodeCyclesConsistency(t *testing.T) {
+	core := hw.DefaultCore()
+	n := conv(64, 64, 56, 56, 3, 1)
+	cycles := NodeCycles(core, n)
+	// At utilization 1, cycles = MACs / peak.
+	want := n.MACs() / core.MACsPerCycle()
+	if cycles != want {
+		t.Errorf("cycles = %d, want %d", cycles, want)
+	}
+	// Lower utilization → more cycles than the peak bound.
+	first := conv(64, 3, 112, 112, 7, 2)
+	if NodeCycles(core, first) <= first.MACs()/core.MACsPerCycle() {
+		t.Error("packing losses not reflected in cycles")
+	}
+}
+
+func TestGraphUtilizationRange(t *testing.T) {
+	core := hw.DefaultCore()
+	for _, m := range []string{"vgg16", "resnet50", "googlenet", "gpt"} {
+		g := models.MustBuild(m)
+		u := GraphUtilization(core, g)
+		if u <= 0.2 || u > 1 {
+			t.Errorf("%s: graph utilization %g out of plausible range", m, u)
+		}
+	}
+}
+
+func TestDimString(t *testing.T) {
+	if DimH.String() != "H" || DimK.String() != "K" {
+		t.Error("dim strings")
+	}
+	if Dim(9).String() != "Dim(9)" {
+		t.Error("unknown dim string")
+	}
+}
+
+func TestDegenerateShapeFallback(t *testing.T) {
+	core := hw.DefaultCore()
+	n := &graph.Node{Kind: graph.OpPool, KernelH: 1, KernelW: 1,
+		StrideH: 1, StrideW: 1, InC: 1, OutC: 1, OutH: 1, OutW: 1}
+	m := Best(core, n)
+	if m.Utilization <= 0 {
+		t.Error("degenerate shape must still get a positive mapping")
+	}
+}

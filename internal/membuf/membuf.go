@@ -1,0 +1,187 @@
+// Package membuf models the paper's memory management scheme for subgraph
+// execution (§3.2): the global buffer is logically partitioned into MAIN and
+// SIDE regions per node by a buffer region manager (a 2N-depth register file
+// holding [head, end) addresses), and sliding convolution tiles achieve full
+// data reuse — vertical overlap is retained locally in the MAIN region while
+// horizontal overlap is written to and later re-read from the SIDE region
+// (paths ② and ① of Figure 7).
+package membuf
+
+import (
+	"fmt"
+	"sort"
+
+	"cocco/internal/graph"
+	"cocco/internal/tiling"
+)
+
+// RegionKind distinguishes the two region types.
+type RegionKind int
+
+const (
+	// Main regions hold the PE source/result tiles (P0×Q0×C).
+	Main RegionKind = iota
+	// Side regions reserve horizontally overlapping rows for the next row
+	// loop (kernel size > stride).
+	Side
+)
+
+func (k RegionKind) String() string {
+	if k == Side {
+		return "SIDE"
+	}
+	return "MAIN"
+}
+
+// Region is one logical block inside the global buffer.
+type Region struct {
+	Node  int
+	Kind  RegionKind
+	Start int64 // inclusive byte offset
+	End   int64 // exclusive byte offset
+}
+
+// Size returns the region length in bytes.
+func (r Region) Size() int64 { return r.End - r.Start }
+
+// Table is a concrete allocation of a subgraph's regions in a buffer of the
+// given capacity, produced by Allocate.
+type Table struct {
+	Capacity int64
+	Regions  []Region
+	Used     int64
+}
+
+// Allocate lays out MAIN and SIDE regions for every node of the scheme
+// sequentially (the region manager stores contiguous [head, end) pairs).
+// Returns an error if the subgraph does not fit in capacityBytes.
+func Allocate(g *graph.Graph, s *tiling.Scheme, capacityBytes int64) (*Table, error) {
+	ids := make([]int, 0, len(s.Nodes))
+	for id := range s.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	t := &Table{Capacity: capacityBytes}
+	var off int64
+	for _, id := range ids {
+		main, side := SplitFootprint(g, s, id)
+		if main > 0 {
+			t.Regions = append(t.Regions, Region{Node: id, Kind: Main, Start: off, End: off + main})
+			off += main
+		}
+		if side > 0 {
+			t.Regions = append(t.Regions, Region{Node: id, Kind: Side, Start: off, End: off + side})
+			off += side
+		}
+	}
+	t.Used = off
+	if off > capacityBytes {
+		return nil, fmt.Errorf("membuf: subgraph needs %d bytes, capacity %d", off, capacityBytes)
+	}
+	return t, nil
+}
+
+// SplitFootprint returns the MAIN and SIDE byte requirements of node id
+// under the scheme, consistent with tiling.Scheme.FootprintBytes
+// (main + side equals that total).
+func SplitFootprint(g *graph.Graph, s *tiling.Scheme, id int) (main, side int64) {
+	total := s.FootprintBytes(g, id)
+	n := g.Node(id)
+	ns := s.Nodes[id]
+	h := minI64(ns.TileH, int64(n.OutH))
+	w := minI64(ns.TileW, int64(n.OutW))
+	main = h * w * int64(n.OutC)
+	if main > total {
+		main = total
+	}
+	side = total - main
+	return main, side
+}
+
+// NumEntries returns the number of register-file entries the region manager
+// needs for this table (one head + one end per region).
+func (t *Table) NumEntries() int { return 2 * len(t.Regions) }
+
+// RegisterFileBytes returns the size of the region-manager register file for
+// a design supporting maxRegions regions with the given address width. The
+// paper's test chip uses N=64 and 17-bit addresses (1 MB, 64-bit words) for
+// a 272-byte register file.
+func RegisterFileBytes(maxRegions, addrBits int) int {
+	bits := 2 * maxRegions * addrBits
+	return (bits + 7) / 8
+}
+
+// Traffic is the byte movement of one node across a full feature-map sweep
+// under the sliding-tile update scheme.
+type Traffic struct {
+	// DRAMLoad: bytes loaded from DRAM (external producers only; each
+	// tensor byte exactly once — full reuse).
+	DRAMLoad int64
+	// LocalReuse: bytes retained in the MAIN region across column steps
+	// (vertical overlap, "retain and locally reuse").
+	LocalReuse int64
+	// SideWrite: bytes written back to the SIDE region at the bottom of
+	// each tile for the next row loop (path ②).
+	SideWrite int64
+	// SideRead: bytes re-loaded from the SIDE region at the top of each new
+	// row loop (path ①).
+	SideRead int64
+	// Updated: bytes freshly materialized (computed or loaded) across the
+	// sweep; equals the tensor size.
+	Updated int64
+}
+
+// SweepTraffic simulates the full row/column sweep of node id and accounts
+// its data movement. The column (width) dimension is the inner loop, rows
+// the outer loop, matching Figure 7's NWHC layout.
+func SweepTraffic(g *graph.Graph, s *tiling.Scheme, id int) Traffic {
+	n := g.Node(id)
+	ns := s.Nodes[id]
+	H, W, C := int64(n.OutH), int64(n.OutW), int64(n.OutC)
+	xh := minI64(ns.TileH, H)
+	xw := minI64(ns.TileW, W)
+	dh := minI64(ns.DeltaH, xh)
+	dw := minI64(ns.DeltaW, xw)
+
+	rowSteps := steps(H, xh, dh)
+	colSteps := steps(W, xw, dw)
+
+	var tr Traffic
+	tr.Updated = H * W * C
+	if ns.External {
+		tr.DRAMLoad = H * W * C
+	}
+	// Vertical overlap kept in MAIN per column step (all but the first
+	// column step of each row loop).
+	if colSteps > 1 && xw > dw {
+		tr.LocalReuse = rowSteps * (colSteps - 1) * (xw - dw) * xh * C
+	}
+	// Horizontal overlap through SIDE per row step (all but the last row
+	// loop writes; all but the first reads).
+	if rowSteps > 1 && xh > dh && W > xw {
+		overlap := (xh - dh) * (W - xw) * C
+		tr.SideWrite = (rowSteps - 1) * overlap
+		tr.SideRead = (rowSteps - 1) * overlap
+	}
+	return tr
+}
+
+// steps returns how many tile positions a sweep of extent `total` takes with
+// tile size x and step d.
+func steps(total, x, d int64) int64 {
+	if x >= total {
+		return 1
+	}
+	if d <= 0 {
+		d = 1
+	}
+	return (total-x+d-1)/d + 1
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

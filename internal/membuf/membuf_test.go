@@ -1,0 +1,116 @@
+package membuf
+
+import (
+	"testing"
+
+	"cocco/internal/graph"
+	"cocco/internal/tiling"
+)
+
+func scheme(t *testing.T) (*graph.Graph, *tiling.Scheme, []int) {
+	t.Helper()
+	b := graph.NewBuilder("m")
+	in := b.Input("in", 8, 64, 64)
+	c1 := b.Conv("c1", in, 8, 3, 1)
+	c2 := b.Conv("c2", c1, 8, 3, 2)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tiling.Derive(g, []int{c1, c2}, tiling.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, []int{in, c1, c2}
+}
+
+func TestAllocateLayout(t *testing.T) {
+	g, s, _ := scheme(t)
+	tab, err := Allocate(g, s, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Used != s.TotalFootprintBytes(g) {
+		t.Errorf("Used = %d, want %d", tab.Used, s.TotalFootprintBytes(g))
+	}
+	// Regions are contiguous, non-overlapping, and in order.
+	var off int64
+	for _, r := range tab.Regions {
+		if r.Start != off {
+			t.Errorf("region %v starts at %d, expected %d", r, r.Start, off)
+		}
+		if r.Size() <= 0 {
+			t.Errorf("empty region %v", r)
+		}
+		off = r.End
+	}
+	if off != tab.Used {
+		t.Errorf("final offset %d != used %d", off, tab.Used)
+	}
+	if tab.NumEntries() != 2*len(tab.Regions) {
+		t.Error("register-file entries")
+	}
+}
+
+func TestAllocateOverflow(t *testing.T) {
+	g, s, _ := scheme(t)
+	if _, err := Allocate(g, s, 16); err == nil {
+		t.Error("allocation into 16 bytes should fail")
+	}
+}
+
+func TestSplitFootprintMatchesScheme(t *testing.T) {
+	g, s, ids := scheme(t)
+	for _, id := range ids {
+		main, side := SplitFootprint(g, s, id)
+		if main+side != s.FootprintBytes(g, id) {
+			t.Errorf("node %d: main %d + side %d != footprint %d",
+				id, main, side, s.FootprintBytes(g, id))
+		}
+		if main < 0 || side < 0 {
+			t.Errorf("node %d: negative region", id)
+		}
+	}
+}
+
+func TestRegisterFileBytes(t *testing.T) {
+	// Paper test chip: N=64 regions, 17-bit addresses → 272 bytes.
+	if got := RegisterFileBytes(64, 17); got != 272 {
+		t.Errorf("register file = %d bytes, want 272", got)
+	}
+}
+
+func TestSweepTraffic(t *testing.T) {
+	g, s, ids := scheme(t)
+	in, c1 := ids[0], ids[1]
+
+	trIn := SweepTraffic(g, s, in)
+	n := g.Node(in)
+	full := int64(n.OutH) * int64(n.OutW) * int64(n.OutC)
+	// Full reuse: each external byte loaded exactly once.
+	if trIn.DRAMLoad != full {
+		t.Errorf("DRAM load = %d, want %d", trIn.DRAMLoad, full)
+	}
+	if trIn.Updated != full {
+		t.Errorf("updated = %d, want %d", trIn.Updated, full)
+	}
+	// Kernel 3 > stride: both reuse paths must be exercised.
+	if trIn.LocalReuse <= 0 {
+		t.Error("no local (MAIN) reuse for overlapping windows")
+	}
+	if trIn.SideWrite <= 0 || trIn.SideWrite != trIn.SideRead {
+		t.Errorf("side traffic: write %d read %d", trIn.SideWrite, trIn.SideRead)
+	}
+
+	// Intermediate node: no DRAM loads.
+	trC1 := SweepTraffic(g, s, c1)
+	if trC1.DRAMLoad != 0 {
+		t.Errorf("intermediate loaded %d from DRAM", trC1.DRAMLoad)
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	if Main.String() != "MAIN" || Side.String() != "SIDE" {
+		t.Error("kind strings")
+	}
+}

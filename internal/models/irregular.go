@@ -1,0 +1,216 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cocco/internal/graph"
+)
+
+// NasNet builds a NASNet-A-like cell network: a stem convolution followed by
+// three groups of four normal cells separated by reduction cells, then the
+// classifier. The cell wiring follows the NASNet-A pattern of five
+// two-input combine blocks drawing from the two previous cell outputs, with
+// the unconsumed blocks concatenated — producing the irregular multi-branch
+// structure the paper evaluates. (Exact NASNet-A would require the released
+// architecture checkpoint; this deterministic reconstruction preserves the
+// graph-shape class — see DESIGN.md substitutions.)
+func NasNet() *graph.Graph {
+	b := graph.NewBuilder("nasnet")
+	x := b.Input("input", 3, 224, 224)
+	stem := b.Conv("stem", x, 32, 3, 2)
+
+	sep := func(name string, from, outC, k, stride int) int {
+		d := b.DWConv(name+"_dw", from, k, stride)
+		return b.Conv(name+"_pw", d, outC, 1, 1)
+	}
+
+	// cell combines the two previous outputs (prev = h, prevPrev = p) into a
+	// new output with `f` filters, using stride 2 for reduction cells.
+	cell := func(name string, h, p int, f, stride int) int {
+		// Fit both inputs to f channels and a common spatial size: p may be
+		// one reduction behind h, so derive its fit stride from the actual
+		// shapes.
+		_, hH, _, _ := b.OutShape(h)
+		_, pH, _, _ := b.OutShape(p)
+		target := (hH + stride - 1) / stride
+		pStride := pH / target
+		if pStride < 1 {
+			pStride = 1
+		}
+		h1 := b.Conv(name+"_fit_h", h, f, 1, stride)
+		p1 := b.Conv(name+"_fit_p", p, f, 1, pStride)
+		// Five combine blocks (NASNet-A normal-cell mix of separable convs,
+		// poolings and identities).
+		b1 := b.Eltwise(name+"_b1", sep(name+"_b1s5", p1, f, 5, 1), sep(name+"_b1s3", h1, f, 3, 1))
+		b2 := b.Eltwise(name+"_b2", sep(name+"_b2s5", p1, f, 5, 1), sep(name+"_b2s3", p1, f, 3, 1))
+		b3 := b.Eltwise(name+"_b3", b.Pool(name+"_b3p", h1, 3, 1), p1)
+		b4 := b.Eltwise(name+"_b4", b.Pool(name+"_b4pa", p1, 3, 1), b.Pool(name+"_b4pb", p1, 3, 1))
+		b5 := b.Eltwise(name+"_b5", sep(name+"_b5s3", b1, f, 3, 1), h1)
+		return b.Concat(name+"_concat", b2, b3, b4, b5)
+	}
+
+	f := 64
+	prevPrev, prev := stem, stem
+	cellIdx := 0
+	for group := 0; group < 3; group++ {
+		for i := 0; i < 4; i++ {
+			cellIdx++
+			out := cell(fmt.Sprintf("n%d", cellIdx), prev, prevPrev, f, 1)
+			prevPrev, prev = prev, out
+		}
+		if group < 2 {
+			cellIdx++
+			f *= 2
+			out := cell(fmt.Sprintf("r%d", cellIdx), prev, prevPrev, f, 2)
+			prevPrev, prev = prev, out
+		}
+	}
+	gp := b.GlobalPool("avgpool", prev)
+	b.FC("fc", gp, 1000)
+	return b.MustFinalize()
+}
+
+// RandWireA builds the "small regime" randomly-wired network: a stem and two
+// Watts–Strogatz stages of 32 nodes (K=4, P=0.75), per Xie et al. Seeded so
+// the topology is identical on every run.
+func RandWireA() *graph.Graph {
+	return randWire("randwire-a", 7, []wsStage{
+		{nodes: 32, channels: 64},
+		{nodes: 32, channels: 128},
+	})
+}
+
+// RandWireB builds the "regular regime" variant with three stages.
+func RandWireB() *graph.Graph {
+	return randWire("randwire-b", 11, []wsStage{
+		{nodes: 32, channels: 64},
+		{nodes: 32, channels: 128},
+		{nodes: 32, channels: 256},
+	})
+}
+
+type wsStage struct {
+	nodes    int
+	channels int
+}
+
+// randWire constructs the randomly-wired model: each stage is a DAG obtained
+// by orienting a Watts–Strogatz small-world graph from lower to higher node
+// index. Stage-internal nodes aggregate their inputs (element-wise) and
+// apply a 3×3 convolution; nodes with no in-edges read the stage input and
+// nodes with no out-edges feed the stage output join.
+func randWire(name string, seed int64, stages []wsStage) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(name)
+	x := b.Input("input", 3, 224, 224)
+	x = b.Conv("stem", x, 32, 3, 2)
+
+	for si, st := range stages {
+		prefix := fmt.Sprintf("s%d", si+1)
+		// Stage entry: stride-2 conv to st.channels.
+		entry := b.Conv(prefix+"_entry", x, st.channels, 3, 2)
+		edges := wattsStrogatz(rng, st.nodes, 4, 0.75)
+
+		nodeOut := make([]int, st.nodes)
+		for v := 0; v < st.nodes; v++ {
+			var ins []int
+			for _, e := range edges {
+				if e[1] == v {
+					ins = append(ins, nodeOut[e[0]])
+				}
+			}
+			src := entry
+			switch len(ins) {
+			case 0:
+				// reads the stage input directly
+			case 1:
+				src = ins[0]
+			default:
+				src = b.Eltwise(fmt.Sprintf("%s_n%d_agg", prefix, v), ins...)
+			}
+			nodeOut[v] = b.Conv(fmt.Sprintf("%s_n%d_conv", prefix, v), src, st.channels, 3, 1)
+		}
+		// Stage output: join all sinks.
+		var sinks []int
+		hasOut := make([]bool, st.nodes)
+		for _, e := range edges {
+			hasOut[e[0]] = true
+		}
+		for v := 0; v < st.nodes; v++ {
+			if !hasOut[v] {
+				sinks = append(sinks, nodeOut[v])
+			}
+		}
+		if len(sinks) == 1 {
+			x = sinks[0]
+		} else {
+			x = b.Eltwise(prefix+"_join", sinks...)
+		}
+	}
+	x = b.GlobalPool("avgpool", x)
+	b.FC("fc", x, 1000)
+	return b.MustFinalize()
+}
+
+// wattsStrogatz generates the WS(n, k, p) small-world graph and orients
+// every edge from the lower to the higher node index, yielding a DAG.
+// Returned edges are [from, to] pairs with from < to, deduplicated.
+func wattsStrogatz(rng *rand.Rand, n, k int, p float64) [][2]int {
+	type edge = [2]int
+	set := map[edge]bool{}
+	add := func(a, c int) {
+		if a == c {
+			return
+		}
+		if a > c {
+			a, c = c, a
+		}
+		set[edge{a, c}] = true
+	}
+	// Ring lattice: each node connects to k/2 neighbors on each side.
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			add(v, (v+j)%n)
+		}
+	}
+	// Rewire each lattice edge with probability p.
+	var lattice []edge
+	for e := range set {
+		lattice = append(lattice, e)
+	}
+	// Deterministic iteration order for reproducibility.
+	sortEdges(lattice)
+	for _, e := range lattice {
+		if rng.Float64() < p {
+			delete(set, e)
+			for {
+				t := rng.Intn(n)
+				if t != e[0] {
+					a, c := e[0], t
+					if a > c {
+						a, c = c, a
+					}
+					if !set[edge{a, c}] {
+						set[edge{a, c}] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	out := make([]edge, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es [][2]int) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && (es[j][0] < es[j-1][0] || (es[j][0] == es[j-1][0] && es[j][1] < es[j-1][1])); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}

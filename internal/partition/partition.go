@@ -1,0 +1,403 @@
+// Package partition implements the paper's graph-level partition formalism
+// (§4.1.1): a mapping P : V → ℕ assigning every compute layer to a subgraph,
+// subject to two validity conditions — precedence (for every edge (u,v),
+// P(u) ≤ P(v), so any layer is computed before use) and connectivity (every
+// subgraph is weakly connected in G, "otherwise meaningless").
+//
+// Subgraph ids double as the schedule: subgraphs execute in ascending id
+// order (§5.1.2 schedules subgraphs in topological order).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"cocco/internal/graph"
+)
+
+// Unassigned marks nodes that do not belong to any subgraph (OpInput nodes).
+const Unassigned = -1
+
+// Partition assigns each compute node of a graph to a subgraph.
+// The zero value is unusable; construct with Singletons, Whole, or From.
+type Partition struct {
+	g      *graph.Graph
+	assign []int // node id → subgraph id, Unassigned for inputs
+	count  int   // number of subgraphs
+}
+
+// Singletons returns the partition with every compute node in its own
+// subgraph, numbered in topological order (the greedy baseline's starting
+// point).
+func Singletons(g *graph.Graph) *Partition {
+	p := &Partition{g: g, assign: make([]int, g.Len())}
+	for i := range p.assign {
+		p.assign[i] = Unassigned
+	}
+	for _, id := range g.ComputeNodes() {
+		p.assign[id] = p.count
+		p.count++
+	}
+	return p
+}
+
+// Whole returns the partition with all compute nodes in one subgraph.
+// It is valid only if the compute nodes are weakly connected.
+func Whole(g *graph.Graph) *Partition {
+	p := &Partition{g: g, assign: make([]int, g.Len()), count: 1}
+	for i := range p.assign {
+		p.assign[i] = Unassigned
+	}
+	for _, id := range g.ComputeNodes() {
+		p.assign[id] = 0
+	}
+	return p
+}
+
+// From builds a partition from an explicit assignment (node id → subgraph
+// id; input nodes must be Unassigned). The assignment is normalized (ids
+// renumbered into schedule order) and validated.
+func From(g *graph.Graph, assign []int) (*Partition, error) {
+	if len(assign) != g.Len() {
+		return nil, fmt.Errorf("partition: assignment length %d != %d nodes", len(assign), g.Len())
+	}
+	p := &Partition{g: g, assign: append([]int(nil), assign...)}
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.OpInput {
+			if p.assign[n.ID] != Unassigned {
+				return nil, fmt.Errorf("partition: input node %d assigned to subgraph %d", n.ID, p.assign[n.ID])
+			}
+		} else if p.assign[n.ID] < 0 {
+			return nil, fmt.Errorf("partition: compute node %d unassigned", n.ID)
+		}
+	}
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FromRepaired builds a partition from an explicit assignment like From, but
+// repairs disconnected subgraphs by splitting them into weakly connected
+// components instead of rejecting them. It still fails if the quotient graph
+// is cyclic (unschedulable).
+func FromRepaired(g *graph.Graph, assign []int) (*Partition, error) {
+	if len(assign) != g.Len() {
+		return nil, fmt.Errorf("partition: assignment length %d != %d nodes", len(assign), g.Len())
+	}
+	p := &Partition{g: g, assign: append([]int(nil), assign...)}
+	for _, n := range g.Nodes() {
+		if n.Kind == graph.OpInput {
+			p.assign[n.ID] = Unassigned
+		} else if p.assign[n.ID] < 0 {
+			return nil, fmt.Errorf("partition: compute node %d unassigned", n.ID)
+		}
+	}
+	return p.repair()
+}
+
+// Graph returns the underlying graph.
+func (p *Partition) Graph() *graph.Graph { return p.g }
+
+// NumSubgraphs returns the number of subgraphs.
+func (p *Partition) NumSubgraphs() int { return p.count }
+
+// Of returns the subgraph id of node id (Unassigned for inputs).
+func (p *Partition) Of(id int) int { return p.assign[id] }
+
+// Assignment returns a copy of the raw assignment slice.
+func (p *Partition) Assignment() []int { return append([]int(nil), p.assign...) }
+
+// Clone returns a deep copy.
+func (p *Partition) Clone() *Partition {
+	return &Partition{g: p.g, assign: append([]int(nil), p.assign...), count: p.count}
+}
+
+// Members returns the node ids of subgraph s in ascending order.
+func (p *Partition) Members(s int) []int {
+	var m []int
+	for id, a := range p.assign {
+		if a == s {
+			m = append(m, id)
+		}
+	}
+	return m
+}
+
+// Subgraphs returns all subgraphs' members, indexed by subgraph id.
+func (p *Partition) Subgraphs() [][]int {
+	out := make([][]int, p.count)
+	for id, a := range p.assign {
+		if a >= 0 {
+			out[a] = append(out[a], id)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string identity of the partition, usable as a map
+// key for memoization and dedup.
+func (p *Partition) Key() string {
+	b := make([]byte, 0, len(p.assign)*2)
+	for _, a := range p.assign {
+		b = append(b, byte(a>>8), byte(a))
+	}
+	return string(b)
+}
+
+// Validate checks both validity conditions: precedence on every edge between
+// compute nodes and weak connectivity of every subgraph.
+func (p *Partition) Validate() error {
+	for _, u := range p.g.ComputeNodes() {
+		for _, v := range p.g.Succ(u) {
+			if p.assign[v] == Unassigned {
+				continue
+			}
+			if p.assign[u] > p.assign[v] {
+				return fmt.Errorf("partition: edge %d->%d violates precedence (P=%d > %d)",
+					u, v, p.assign[u], p.assign[v])
+			}
+		}
+	}
+	for s, members := range p.Subgraphs() {
+		if len(members) == 0 {
+			return fmt.Errorf("partition: subgraph %d empty", s)
+		}
+		set := make(map[int]bool, len(members))
+		for _, id := range members {
+			set[id] = true
+		}
+		if !p.g.IsConnected(set) {
+			return fmt.Errorf("partition: subgraph %d not connected: %v", s, members)
+		}
+	}
+	return nil
+}
+
+// normalize renumbers subgraphs into a schedule order consistent with the
+// quotient DAG (subgraph-level dependencies). Returns an error if the
+// quotient graph is cyclic (the partition cannot be scheduled).
+func (p *Partition) normalize() error {
+	// Map old labels to dense indices.
+	oldIDs := map[int]int{}
+	for _, a := range p.assign {
+		if a >= 0 {
+			if _, ok := oldIDs[a]; !ok {
+				oldIDs[a] = len(oldIDs)
+			}
+		}
+	}
+	n := len(oldIDs)
+	dense := make([]int, len(p.assign))
+	for id, a := range p.assign {
+		if a < 0 {
+			dense[id] = Unassigned
+		} else {
+			dense[id] = oldIDs[a]
+		}
+	}
+	// Quotient edges.
+	adj := make([]map[int]bool, n)
+	indeg := make([]int, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	for _, u := range p.g.ComputeNodes() {
+		su := dense[u]
+		for _, v := range p.g.Succ(u) {
+			sv := dense[v]
+			if sv == Unassigned || sv == su {
+				continue
+			}
+			if !adj[su][sv] {
+				adj[su][sv] = true
+				indeg[sv]++
+			}
+		}
+	}
+	// Kahn's algorithm; among ready subgraphs pick the one containing the
+	// smallest node id for determinism.
+	minNode := make([]int, n)
+	for i := range minNode {
+		minNode[i] = int(^uint(0) >> 1)
+	}
+	for id, s := range dense {
+		if s >= 0 && id < minNode[s] {
+			minNode[s] = id
+		}
+	}
+	ready := []int{}
+	for s := 0; s < n; s++ {
+		if indeg[s] == 0 {
+			ready = append(ready, s)
+		}
+	}
+	order := make([]int, 0, n)
+	newID := make([]int, n)
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if minNode[ready[i]] < minNode[ready[best]] {
+				best = i
+			}
+		}
+		s := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		newID[s] = len(order)
+		order = append(order, s)
+		for t := range adj[s] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				ready = append(ready, t)
+			}
+		}
+	}
+	if len(order) != n {
+		return fmt.Errorf("partition: quotient graph is cyclic (unschedulable)")
+	}
+	for id, s := range dense {
+		if s == Unassigned {
+			p.assign[id] = Unassigned
+		} else {
+			p.assign[id] = newID[s]
+		}
+	}
+	p.count = n
+	return nil
+}
+
+// --- mutation primitives (used by the GA, SA, and repair) -----------------
+
+// TryModifyNode reassigns node u to subgraph target (an existing id or
+// p.NumSubgraphs() for a fresh subgraph) and returns the repaired, validated
+// result, or an error if the move is unschedulable. The receiver is not
+// modified.
+func (p *Partition) TryModifyNode(u, target int) (*Partition, error) {
+	if p.assign[u] == Unassigned {
+		return nil, fmt.Errorf("partition: cannot move input node %d", u)
+	}
+	if target < 0 || target > p.count {
+		return nil, fmt.Errorf("partition: target subgraph %d out of range", target)
+	}
+	q := p.Clone()
+	q.assign[u] = target
+	if target == p.count {
+		q.count++
+	}
+	return q.repair()
+}
+
+// TrySplit splits subgraph s into the given parts (a disjoint cover of its
+// members) and returns the repaired result. The receiver is not modified.
+func (p *Partition) TrySplit(s int, parts [][]int) (*Partition, error) {
+	members := p.Members(s)
+	seen := map[int]bool{}
+	total := 0
+	for _, part := range parts {
+		for _, id := range part {
+			if p.assign[id] != s {
+				return nil, fmt.Errorf("partition: node %d not in subgraph %d", id, s)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("partition: node %d in multiple parts", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != len(members) {
+		return nil, fmt.Errorf("partition: parts cover %d of %d members", total, len(members))
+	}
+	q := p.Clone()
+	for i, part := range parts {
+		label := s
+		if i > 0 {
+			label = q.count
+			q.count++
+		}
+		for _, id := range part {
+			q.assign[id] = label
+		}
+	}
+	return q.repair()
+}
+
+// TryMerge merges subgraphs a and b and returns the repaired result, or an
+// error if the merge is unschedulable (e.g. a path a→c→b through a third
+// subgraph) — the paper's merge-subgraph mutation with validity guarantee.
+// The receiver is not modified.
+func (p *Partition) TryMerge(a, b int) (*Partition, error) {
+	if a == b {
+		return nil, fmt.Errorf("partition: merging subgraph %d with itself", a)
+	}
+	if a >= p.count || b >= p.count || a < 0 || b < 0 {
+		return nil, fmt.Errorf("partition: merge ids out of range")
+	}
+	q := p.Clone()
+	for id, s := range q.assign {
+		if s == b {
+			q.assign[id] = a
+		}
+	}
+	return q.repair()
+}
+
+// repair makes the partition valid if possible: split disconnected
+// subgraphs into weakly connected components, then renumber via the quotient
+// topological order. Returns an error only if the quotient graph is cyclic.
+func (p *Partition) repair() (*Partition, error) {
+	next := 0
+	for _, a := range p.assign {
+		if a >= next {
+			next = a + 1
+		}
+	}
+	for s := 0; s < next; s++ {
+		members := p.Members(s)
+		if len(members) <= 1 {
+			continue
+		}
+		set := make(map[int]bool, len(members))
+		for _, id := range members {
+			set[id] = true
+		}
+		comps := p.g.ConnectedComponents(set)
+		for i := 1; i < len(comps); i++ {
+			for _, id := range comps[i] {
+				p.assign[id] = next
+			}
+			next++
+		}
+	}
+	p.count = next
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CrossEdges returns the tensors crossing subgraph boundaries: for each
+// producer node whose output is consumed by a later subgraph (or is a model
+// output), the set of consuming subgraphs. Used by cost models to decide
+// which activations hit DRAM.
+func (p *Partition) CrossEdges() map[int][]int {
+	out := map[int][]int{}
+	for _, u := range p.g.ComputeNodes() {
+		su := p.assign[u]
+		seen := map[int]bool{}
+		for _, v := range p.g.Succ(u) {
+			sv := p.assign[v]
+			if sv != su && sv != Unassigned && !seen[sv] {
+				seen[sv] = true
+				out[u] = append(out[u], sv)
+			}
+		}
+		if len(out[u]) > 1 {
+			sort.Ints(out[u])
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package report renders the experiment results as fixed-width text tables
+// and CSV series, mirroring the rows and series the paper's tables and
+// figures present.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Rows returns the accumulated rows (for tests).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Series is a named sequence of (x, y) points, rendered as CSV — the
+// figure-style output (convergence curves, distributions).
+type Series struct {
+	Name   string
+	X, Y   []float64
+	XLabel string
+	YLabel string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// CSV renders "x,y" lines with a header.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	xl, yl := s.XLabel, s.YLabel
+	if xl == "" {
+		xl = "x"
+	}
+	if yl == "" {
+		yl = "y"
+	}
+	fmt.Fprintf(&b, "# series: %s\n%s,%s\n", s.Name, xl, yl)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Bytes formats a byte count as KB/MB with short precision.
+func Bytes(v int64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}
+
+// MJ formats picojoules as millijoules.
+func MJ(pj float64) string { return fmt.Sprintf("%.2fmJ", pj/1e9) }
+
+// MS formats seconds as milliseconds.
+func MS(sec float64) string { return fmt.Sprintf("%.2fms", sec*1e3) }
+
+// GBps formats bytes/second as GB/s.
+func GBps(v float64) string { return fmt.Sprintf("%.2fGB/s", v/1e9) }

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-long-name", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "=== Demo ===") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows start the value column at the same
+	// offset.
+	hdr := lines[1]
+	row := lines[4]
+	if strings.Index(hdr, "value") != strings.Index(row, "2.5") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if len(tb.Rows()) != 2 {
+		t.Error("Rows()")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "===") {
+		t.Error("unexpected title banner")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := Series{Name: "conv", XLabel: "samples", YLabel: "cost"}
+	s.Add(1, 10)
+	s.Add(2, 9.5)
+	out := s.CSV()
+	want := "# series: conv\nsamples,cost\n1,10\n2,9.5\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+	empty := Series{Name: "e"}
+	if !strings.Contains(empty.CSV(), "x,y") {
+		t.Error("default axis labels missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Bytes(512), "512B"},
+		{Bytes(2048), "2KB"},
+		{Bytes(3 << 20), "3.00MB"},
+		{MJ(2.5e9), "2.50mJ"},
+		{MS(0.0042), "4.20ms"},
+		{GBps(16e9), "16.00GB/s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

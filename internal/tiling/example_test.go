@@ -1,0 +1,35 @@
+package tiling_test
+
+import (
+	"fmt"
+
+	"cocco/internal/graph"
+	"cocco/internal/tiling"
+)
+
+// ExampleDerive reproduces the paper's Figure 5 worked example: the
+// consumption-centric flow on a two-input subgraph with mixed strides.
+func ExampleDerive() {
+	b := graph.NewBuilder("fig5")
+	a := b.Input("A", 8, 64, 64)
+	bb := b.Input("B", 8, 64, 64)
+	n0 := b.Custom("n0", graph.OpConv, 3, 2, 8, 8, 31, 31, a)
+	n1 := b.Custom("n1", graph.OpConv, 3, 1, 16, 8, 62, 62, a, bb)
+	n2 := b.Custom("n2", graph.OpConv, 1, 1, 8, 8, 64, 64, bb)
+	g := b.MustFinalize()
+
+	s, err := tiling.Derive(g, []int{n0, n1, n2}, tiling.Config{BaseTileH: 2, BaseTileW: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, id := range []int{a, bb, n0, n1, n2} {
+		ns := s.Nodes[id]
+		fmt.Printf("%s: Δ=%d x=%d upd=%d\n", g.Node(id).Name, ns.DeltaH, ns.TileH, ns.UpdH)
+	}
+	// Output:
+	// A: Δ=4 x=6 upd=1
+	// B: Δ=2 x=4 upd=2
+	// n0: Δ=2 x=2 upd=1
+	// n1: Δ=2 x=2 upd=2
+	// n2: Δ=2 x=2 upd=2
+}

@@ -1,0 +1,539 @@
+// Package tiling implements the paper's subgraph execution scheme (§3.1):
+// the consumption-centric three-stage flow that derives, for every node of a
+// subgraph, the memory update offset Δ, the buffer allocation size x, and the
+// number of memory updates per subgraph-level elementary operation
+// (upd_num), plus the execution sequence.
+//
+// The derivation is the paper's 1D formulation applied independently to the
+// height and width dimensions (the paper notes the 2D case is analogous).
+// All algebra is exact (integer LCM/GCD over int64); clamping to finite
+// tensor extents happens only when footprints are computed.
+//
+// The package also implements the production-centric scheme of Figure 4(a)
+// as a baseline, used by the ablation benchmarks to quantify how much buffer
+// the consumption-centric flow saves.
+package tiling
+
+import (
+	"fmt"
+	"sort"
+
+	"cocco/internal/graph"
+)
+
+// Config controls stage-1: the tile size assigned to the subgraph's output
+// nodes by the single-layer mapper. The paper picks small output tiles so a
+// larger subgraph fits ("the tile size tends to be smaller").
+type Config struct {
+	// BaseTileH and BaseTileW are the stage-1 output-node tile sizes
+	// (Δ = x for output nodes). Must be ≥ 1.
+	BaseTileH, BaseTileW int
+}
+
+// DefaultConfig matches the paper's worked example granularity.
+func DefaultConfig() Config { return Config{BaseTileH: 2, BaseTileW: 2} }
+
+func (c Config) validate() error {
+	if c.BaseTileH < 1 || c.BaseTileW < 1 {
+		return fmt.Errorf("tiling: base tile must be >= 1, got %dx%d", c.BaseTileH, c.BaseTileW)
+	}
+	return nil
+}
+
+// NodeScheme is the derived execution behavior of one node within a
+// subgraph elementary operation.
+type NodeScheme struct {
+	// ID is the graph node id.
+	ID int
+	// External marks producers that live outside the subgraph (the paper's
+	// negative-numbered nodes): their data is loaded from DRAM into the
+	// buffer rather than computed locally.
+	External bool
+	// Output marks nodes whose results leave the subgraph (model outputs or
+	// inputs of later subgraphs); they are written back to DRAM.
+	Output bool
+
+	// DeltaH/DeltaW are the per-dimension update offsets (Δ): the number of
+	// new rows/columns materialized per memory update of this node.
+	DeltaH, DeltaW int64
+	// TileH/TileW are the per-dimension allocation sizes (x): how many
+	// rows/columns of this node's data must be resident.
+	TileH, TileW int64
+	// UpdH/UpdW are the per-dimension update counts per elementary
+	// operation (upd_num), in the minimal co-prime solution.
+	UpdH, UpdW int64
+}
+
+// Scheme is the full execution scheme of one subgraph.
+type Scheme struct {
+	// Nodes maps node id → derived scheme, covering subgraph members and
+	// their external producers.
+	Nodes map[int]*NodeScheme
+	// Order is the execution sequence of member nodes (topological).
+	Order []int
+}
+
+// Derive runs the three-stage flow for the subgraph consisting of `members`
+// (compute-node ids of g). Produces schemes for all members plus every
+// external producer feeding the subgraph.
+//
+// Stage-1 assigns cfg's base tile to output nodes; stage-2 walks members in
+// reverse topological order computing Δ via LCM alignment and x via the
+// max-consumption rule; stage-3 solves the co-prime upd_num system.
+func Derive(g *graph.Graph, members []int, cfg Config) (*Scheme, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("tiling: empty subgraph")
+	}
+	member := make(map[int]bool, len(members))
+	for _, id := range members {
+		member[id] = true
+	}
+
+	// Collect the node universe: members plus external producers.
+	universe := map[int]bool{}
+	for id := range member {
+		universe[id] = true
+		for _, p := range g.Pred(id) {
+			universe[p] = true
+		}
+	}
+	ids := make([]int, 0, len(universe))
+	for id := range universe {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	s := &Scheme{Nodes: make(map[int]*NodeScheme, len(ids))}
+	for _, id := range ids {
+		ns := &NodeScheme{ID: id, External: !member[id]}
+		// A member is an output if its results leave the subgraph: some
+		// consumer is external, or it has no consumers (a model output).
+		if member[id] {
+			if len(g.Succ(id)) == 0 {
+				ns.Output = true
+			}
+			for _, c := range g.Succ(id) {
+				if !member[c] {
+					ns.Output = true
+					break
+				}
+			}
+		}
+		s.Nodes[id] = ns
+	}
+
+	// internalConsumers(u) = member consumers of u.
+	internalConsumers := func(u int) []int {
+		var cs []int
+		for _, c := range g.Succ(u) {
+			if member[c] {
+				cs = append(cs, c)
+			}
+		}
+		return cs
+	}
+
+	// Stage 1 + 2, per dimension.
+	deriveDim := func(base int64,
+		fOf func(*graph.Node) int64, sOf func(*graph.Node) int64,
+		getDelta func(*NodeScheme) int64,
+		setDelta func(*NodeScheme, int64), setTile func(*NodeScheme, int64)) error {
+		// Reverse topological over the universe (ids ascend topologically).
+		for i := len(ids) - 1; i >= 0; i-- {
+			u := ids[i]
+			ns := s.Nodes[u]
+			cons := internalConsumers(u)
+			if len(cons) == 0 {
+				// Stage-1: a node without internal consumers is driven by
+				// the single-layer mapper: Δ = x = base tile.
+				setDelta(ns, base)
+				setTile(ns, base)
+				continue
+			}
+			// Stage-2: Δ(u) = lcm over children v of Δ(v)·s(v);
+			// x(u) = max over children of f_v(Δ(u)/s(v)).
+			var delta int64 = 1
+			for _, v := range cons {
+				sv := sOf(g.Node(v))
+				step := getDelta(s.Nodes[v]) * sv
+				if step <= 0 {
+					return fmt.Errorf("tiling: node %d: non-positive step", v)
+				}
+				delta = lcm64(delta, step)
+				if delta <= 0 {
+					return fmt.Errorf("tiling: LCM overflow at node %d", u)
+				}
+			}
+			var tile int64
+			for _, v := range cons {
+				nv := g.Node(v)
+				sv := sOf(nv)
+				fv := fOf(nv)
+				consumed := delta / sv // consumer offset per producer update
+				chi := fv + (consumed-1)*sv
+				if chi > tile {
+					tile = chi
+				}
+			}
+			setDelta(ns, delta)
+			setTile(ns, tile)
+		}
+		return nil
+	}
+
+	errH := deriveDim(int64(cfg.BaseTileH),
+		func(n *graph.Node) int64 { return int64(n.KernelH) },
+		func(n *graph.Node) int64 { return int64(n.StrideH) },
+		func(ns *NodeScheme) int64 { return ns.DeltaH },
+		func(ns *NodeScheme, v int64) { ns.DeltaH = v },
+		func(ns *NodeScheme, v int64) { ns.TileH = v })
+	if errH != nil {
+		return nil, errH
+	}
+	errW := deriveDim(int64(cfg.BaseTileW),
+		func(n *graph.Node) int64 { return int64(n.KernelW) },
+		func(n *graph.Node) int64 { return int64(n.StrideW) },
+		func(ns *NodeScheme) int64 { return ns.DeltaW },
+		func(ns *NodeScheme, v int64) { ns.DeltaW = v },
+		func(ns *NodeScheme, v int64) { ns.TileW = v })
+	if errW != nil {
+		return nil, errW
+	}
+
+	// Stage 3: solve upd_num per dimension.
+	if err := solveUpd(g, s, ids, member,
+		func(ns *NodeScheme) int64 { return ns.DeltaH },
+		func(n *graph.Node) int64 { return int64(n.StrideH) },
+		func(ns *NodeScheme, v int64) { ns.UpdH = v }); err != nil {
+		return nil, err
+	}
+	if err := solveUpd(g, s, ids, member,
+		func(ns *NodeScheme) int64 { return ns.DeltaW },
+		func(n *graph.Node) int64 { return int64(n.StrideW) },
+		func(ns *NodeScheme, v int64) { ns.UpdW = v }); err != nil {
+		return nil, err
+	}
+
+	// Execution sequence: members in topological order.
+	s.Order = make([]int, 0, len(members))
+	for _, id := range ids {
+		if member[id] {
+			s.Order = append(s.Order, id)
+		}
+	}
+	return s, nil
+}
+
+// solveUpd solves upd_num(v)·Δ(v)·s(v) = upd_num(u)·Δ(u) for every internal
+// edge (u,v) of the subgraph (edges from external producers included), via
+// rational propagation over the undirected edge relation, then scales to the
+// minimal positive integer (co-prime) solution.
+func solveUpd(g *graph.Graph, s *Scheme, ids []int, member map[int]bool,
+	delta func(*NodeScheme) int64, stride func(*graph.Node) int64,
+	setUpd func(*NodeScheme, int64)) error {
+
+	// prod(n) = upd(n)·Δ(n): elements of n materialized per elementary op.
+	// Edge (u,v): prod(u) = prod(v)·s(v). Propagate prod as a rational
+	// num/den from the first node; the universe of one subgraph is weakly
+	// connected through member nodes (external producers attach to members).
+	prods := map[int]ratVal{}
+
+	adj := map[int][]int{} // undirected, annotated by resolve functions below
+	for _, v := range ids {
+		if !member[v] {
+			continue
+		}
+		for _, u := range g.Pred(v) {
+			if _, ok := s.Nodes[u]; !ok {
+				continue
+			}
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+
+	for _, start := range ids {
+		if _, done := prods[start]; done {
+			continue
+		}
+		prods[start] = ratVal{delta(s.Nodes[start]), 1}
+		queue := []int{start}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			pn := prods[n]
+			for _, m := range adj[n] {
+				// Determine edge direction to apply prod(u) = prod(v)·s(v).
+				var pm ratVal
+				if isPred(g, m, n) { // m -> n (m producer)
+					pm = reduceRat(pn.num*stride(g.Node(n)), pn.den)
+				} else { // n -> m (m consumer): prod(m) = prod(n)/s(m)
+					pm = reduceRat(pn.num, pn.den*stride(g.Node(m)))
+				}
+				if prev, ok := prods[m]; ok {
+					if prev.num*pm.den != pm.num*prev.den {
+						return fmt.Errorf("tiling: inconsistent update rates at node %d (%d/%d vs %d/%d)",
+							m, prev.num, prev.den, pm.num, pm.den)
+					}
+					continue
+				}
+				prods[m] = pm
+				queue = append(queue, m)
+			}
+		}
+	}
+
+	// upd(n) = prod(n)/Δ(n) as a rational; scale all by LCM of denominators,
+	// then divide by the overall GCD for the unique co-prime solution.
+	type urat struct {
+		id       int
+		num, den int64
+	}
+	var us []urat
+	for _, id := range ids {
+		p := prods[id]
+		d := delta(s.Nodes[id])
+		r := reduceRat(p.num, p.den*d)
+		us = append(us, urat{id, r.num, r.den})
+	}
+	var denLCM int64 = 1
+	for _, u := range us {
+		denLCM = lcm64(denLCM, u.den)
+		if denLCM <= 0 {
+			return fmt.Errorf("tiling: upd_num denominator overflow")
+		}
+	}
+	var all int64
+	vals := make(map[int]int64, len(us))
+	for _, u := range us {
+		v := u.num * (denLCM / u.den)
+		vals[u.id] = v
+		all = gcd64(all, v)
+	}
+	if all == 0 {
+		all = 1
+	}
+	for id, v := range vals {
+		setUpd(s.Nodes[id], v/all)
+	}
+	return nil
+}
+
+func isPred(g *graph.Graph, u, v int) bool {
+	for _, p := range g.Pred(v) {
+		if p == u {
+			return true
+		}
+	}
+	return false
+}
+
+type ratVal struct{ num, den int64 }
+
+func reduceRat(num, den int64) ratVal {
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g == 0 {
+		return ratVal{0, 1}
+	}
+	return ratVal{num / g, den / g}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd64(a, b) * b
+}
+
+// clamp returns min(v, max(1, limit)).
+func clamp(v, limit int64) int64 {
+	if limit < 1 {
+		limit = 1
+	}
+	if v > limit {
+		return limit
+	}
+	return v
+}
+
+// FootprintBytes returns the on-chip activation bytes required by node id
+// under this scheme: the MAIN region (tile, clamped to the tensor extent)
+// plus the SIDE region reserving the (x−Δ) horizontally overlapping rows for
+// the remaining width, per Figure 7. Output-only nodes need no SIDE region.
+func (s *Scheme) FootprintBytes(g *graph.Graph, id int) int64 {
+	ns := s.Nodes[id]
+	n := g.Node(id)
+	h := clamp(ns.TileH, int64(n.OutH))
+	w := clamp(ns.TileW, int64(n.OutW))
+	main := h * w * int64(n.OutC)
+	var side int64
+	// SIDE is only needed when the node's data is consumed inside the
+	// subgraph across sliding tiles (externals and intermediates), and only
+	// when the tile does not already span the full width.
+	consumedInside := ns.External || !ns.Output || hasInternalConsumer(g, s, id)
+	if consumedInside && w < int64(n.OutW) {
+		overlapRows := ns.TileH - ns.DeltaH
+		if overlapRows < 0 {
+			overlapRows = 0
+		}
+		overlapRows = clamp(overlapRows, int64(n.OutH))
+		side = overlapRows * (int64(n.OutW) - w) * int64(n.OutC)
+	}
+	return main + side
+}
+
+func hasInternalConsumer(g *graph.Graph, s *Scheme, id int) bool {
+	for _, c := range g.Succ(id) {
+		if ns, ok := s.Nodes[c]; ok && !ns.External {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalFootprintBytes sums FootprintBytes over every node in the scheme
+// (members and external producers): the global-buffer requirement of the
+// subgraph's activations.
+func (s *Scheme) TotalFootprintBytes(g *graph.Graph) int64 {
+	var t int64
+	ids := make([]int, 0, len(s.Nodes))
+	for id := range s.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t += s.FootprintBytes(g, id)
+	}
+	return t
+}
+
+// TotalMainBytes sums only the MAIN-region (resident tile) bytes over every
+// node of the scheme, excluding SIDE reservations. This is the quantity
+// comparable with ProductionFootprintBytes: the sliding-overlap SIDE
+// reservation is orthogonal to the production-vs-consumption contrast of
+// Figure 4, which is about tile over-allocation.
+func (s *Scheme) TotalMainBytes(g *graph.Graph) int64 {
+	var t int64
+	for id, ns := range s.Nodes {
+		n := g.Node(id)
+		h := clamp(ns.TileH, int64(n.OutH))
+		w := clamp(ns.TileW, int64(n.OutW))
+		t += h * w * int64(n.OutC)
+	}
+	return t
+}
+
+// ProductionFootprintBytes computes the resident-tile buffer requirement of
+// the production-centric scheme of Figure 4(a) for the same subgraph and the
+// same per-step output (the consumption scheme's base output tiles).
+//
+// Without the Δ/LCM sliding alignment there is no retained reuse across
+// steps, so each step needs the full nested backward window at every input
+// (e.g. the 5×5 input of the paper's example), and every node then eagerly
+// produces — and must buffer — everything that window allows (Node(1)'s 5×5
+// instead of the 3×3 actually consumed). Compare with Scheme.TotalMainBytes.
+func ProductionFootprintBytes(g *graph.Graph, members []int, cons *Scheme) int64 {
+	member := make(map[int]bool, len(members))
+	for _, id := range members {
+		member[id] = true
+	}
+	ids := make([]int, 0, len(cons.Nodes))
+	for id := range cons.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	// Backward pass: nested windows. need[id] = rows/cols of id's output
+	// required to produce one base output tile everywhere downstream.
+	type dims struct{ h, w int64 }
+	need := map[int]dims{}
+	for i := len(ids) - 1; i >= 0; i-- {
+		id := ids[i]
+		ns := cons.Nodes[id]
+		var d dims
+		hasInternal := false
+		for _, c := range g.Succ(id) {
+			cns, ok := cons.Nodes[c]
+			if !ok || cns.External {
+				continue
+			}
+			hasInternal = true
+			nc := g.Node(c)
+			cd := need[c]
+			h := int64(nc.KernelH) + (cd.h-1)*int64(nc.StrideH)
+			w := int64(nc.KernelW) + (cd.w-1)*int64(nc.StrideW)
+			if h > d.h {
+				d.h = h
+			}
+			if w > d.w {
+				d.w = w
+			}
+		}
+		if !hasInternal {
+			// Output nodes produce the same base tile as the consumption
+			// scheme (equal per-step work). ns.DeltaH equals the base for
+			// nodes without internal consumers.
+			d = dims{ns.DeltaH, ns.DeltaW}
+		}
+		need[id] = d
+	}
+
+	// Forward pass: eager production from the nested input windows.
+	tiles := map[int]dims{}
+	var total int64
+	for _, id := range ids {
+		ns := cons.Nodes[id]
+		n := g.Node(id)
+		var d dims
+		if ns.External {
+			d = need[id]
+		} else {
+			d = dims{1 << 62, 1 << 62}
+			for _, p := range g.Pred(id) {
+				pt, ok := tiles[p]
+				if !ok {
+					continue
+				}
+				h := (pt.h-int64(n.KernelH))/int64(n.StrideH) + 1
+				w := (pt.w-int64(n.KernelW))/int64(n.StrideW) + 1
+				if h < d.h {
+					d.h = h
+				}
+				if w < d.w {
+					d.w = w
+				}
+			}
+		}
+		if d.h < 1 {
+			d.h = 1
+		}
+		if d.w < 1 {
+			d.w = 1
+		}
+		d.h = clamp(d.h, int64(n.OutH))
+		d.w = clamp(d.w, int64(n.OutW))
+		tiles[id] = d
+		total += d.h * d.w * int64(n.OutC)
+	}
+	return total
+}
