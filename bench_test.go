@@ -7,6 +7,8 @@ package cocco
 // The tables are emitted with -v via b.Logf on the first iteration.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -218,6 +220,50 @@ func BenchmarkGAGeneration(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGAParallel measures the deterministic parallel evaluation engine
+// at increasing worker counts on a cold cost cache (a fresh evaluator per
+// iteration, like a real search). Parallel variants report a "speedup"
+// metric relative to the workers=1 run of the same invocation, and every
+// worker count is checked to reach the same best cost.
+func BenchmarkGAParallel(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	mem := hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: 1024 * hw.KiB, WeightBytes: 1152 * hw.KiB}
+	g := models.MustBuild("resnet50")
+	var serialNs, serialBest float64
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var last float64
+			for i := 0; i < b.N; i++ {
+				ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+				best, _, err := core.Run(ev, core.Options{
+					Seed: 7, Workers: workers, Population: 50, MaxSamples: 1000,
+					Objective: eval.Objective{Metric: eval.MetricEMA},
+					Mem:       core.MemSearch{Fixed: mem},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = best.Cost
+			}
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				serialNs, serialBest = ns, last
+				return
+			}
+			if serialBest != 0 && last != serialBest {
+				b.Fatalf("workers=%d best cost %g != serial %g", workers, last, serialBest)
+			}
+			if serialNs > 0 {
+				b.ReportMetric(serialNs/ns, "speedup")
+			}
+		})
 	}
 }
 

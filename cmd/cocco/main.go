@@ -42,6 +42,7 @@ func main() {
 		wgtKB   = flag.Int64("wgt", 1152, "weight buffer KB (fixed-HW separate runs)")
 		cores   = flag.Int("cores", 1, "number of accelerator cores")
 		batch   = flag.Int("batch", 1, "batch size")
+		workers = flag.Int("workers", 0, "evaluation goroutines (0 = all CPUs); results are identical for any value")
 		show    = flag.Int("show", 8, "number of subgraphs to print from the best partition")
 		dump    = flag.String("dump", "", "write the best partition as JSON to this path")
 	)
@@ -100,6 +101,7 @@ func main() {
 
 	best, stats, err := core.Run(ev, core.Options{
 		Seed:       *seed,
+		Workers:    *workers,
 		Population: *popSize,
 		MaxSamples: *samples,
 		Objective:  obj,

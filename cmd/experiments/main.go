@@ -24,9 +24,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig3, fig11, table1, table2, fig12, fig13, fig14, table3, ablations, bounds)")
-		budget = flag.String("budget", "default", "sample budgets: quick | default | paper")
-		seed   = flag.Int64("seed", 42, "random seed")
+		exp     = flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig3, fig11, table1, table2, fig12, fig13, fig14, table3, ablations, bounds)")
+		budget  = flag.String("budget", "default", "sample budgets: quick | default | paper")
+		seed    = flag.Int64("seed", 42, "random seed")
+		workers = flag.Int("workers", 0, "evaluation goroutines per search (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		log.Fatalf("unknown budget %q", *budget)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	runners := []struct {
 		name string

@@ -1,0 +1,3 @@
+module cocco
+
+go 1.24

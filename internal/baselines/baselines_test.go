@@ -147,6 +147,40 @@ func TestSAFindsFeasibleAndDeterministic(t *testing.T) {
 	}
 }
 
+func TestSARestartsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (float64, []core.TracePoint) {
+		ev := testEval(t, "googlenet")
+		var trace []core.TracePoint
+		best, err := SA(ev, SAOptions{
+			Seed: 5, MaxSamples: 2000, Restarts: 4, Workers: workers,
+			Objective: eval.Objective{Metric: eval.MetricEnergy, Alpha: 0.002},
+			Mem: core.MemSearch{Search: true, Kind: hw.SeparateBuffer,
+				Global: hw.PaperGlobalRange(), Weight: hw.PaperWeightRange()},
+			Trace: func(tp core.TracePoint) { trace = append(trace, tp) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Cost, trace
+	}
+	c1, tr1 := run(1)
+	c4, tr4 := run(4)
+	if c1 != c4 {
+		t.Errorf("best cost differs: Workers=1 %g vs Workers=4 %g", c1, c4)
+	}
+	if len(tr1) != 2000 || len(tr4) != 2000 {
+		t.Fatalf("trace lengths = %d, %d; want 2000 (budget split across restarts)", len(tr1), len(tr4))
+	}
+	for i := range tr1 {
+		if tr1[i] != tr4[i] {
+			t.Fatalf("trace[%d] differs: %+v vs %+v", i, tr1[i], tr4[i])
+		}
+	}
+	if tr1[0].Sample != 1 || tr1[1999].Sample != 2000 {
+		t.Errorf("trace not rebased globally: first %d, last %d", tr1[0].Sample, tr1[1999].Sample)
+	}
+}
+
 func TestSAImprovesOverFirstSample(t *testing.T) {
 	ev := testEval(t, "resnet50")
 	var first, count = 0.0, 0

@@ -3,6 +3,7 @@ package baselines
 import (
 	"math"
 	"math/rand"
+	"runtime"
 
 	"cocco/internal/core"
 	"cocco/internal/eval"
@@ -13,6 +14,17 @@ import (
 type SAOptions struct {
 	Seed       int64
 	MaxSamples int
+	// Restarts is the number of independent annealing chains (default 1).
+	// The sample budget is split evenly across chains and the best chain
+	// wins, with ties broken toward the lowest chain index.
+	Restarts int
+	// Workers is the number of chains annealed concurrently (default
+	// runtime.NumCPU()); with the default single restart the search is
+	// inherently serial and Workers has no effect. Each chain's RNG is
+	// derived from (Seed, chain index) and trace points are replayed in
+	// chain order once every chain has finished, so results are
+	// bit-identical for every worker count.
+	Workers int
 	// InitialTemp and FinalTemp bound the geometric cooling schedule; the
 	// temperature is expressed as a fraction of the current cost so the
 	// schedule is scale-free across metrics.
@@ -26,6 +38,12 @@ func (o SAOptions) withDefaults() SAOptions {
 	if o.MaxSamples <= 0 {
 		o.MaxSamples = 50_000
 	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
 	if o.InitialTemp == 0 {
 		o.InitialTemp = 0.10
 	}
@@ -35,10 +53,82 @@ func (o SAOptions) withDefaults() SAOptions {
 	return o
 }
 
-// SA runs simulated annealing and returns the best genome found.
+// chainSeed derives chain i's RNG seed. Chain 0 keeps the run seed so a
+// single-restart SA reproduces the historical single-chain trajectory;
+// later chains get uncorrelated streams via core.ChildSeed.
+func chainSeed(seed int64, chain int) int64 {
+	if chain == 0 {
+		return seed
+	}
+	return core.ChildSeed(seed, chain)
+}
+
+// SA runs simulated annealing and returns the best genome found across all
+// restart chains.
 func SA(ev *eval.Evaluator, opt SAOptions) (*core.Genome, error) {
 	opt = opt.withDefaults()
-	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Split the budget evenly; earlier chains absorb the remainder.
+	budgets := make([]int, 0, opt.Restarts)
+	per, rem := opt.MaxSamples/opt.Restarts, opt.MaxSamples%opt.Restarts
+	for i := 0; i < opt.Restarts; i++ {
+		b := per
+		if i < rem {
+			b++
+		}
+		if b > 0 {
+			budgets = append(budgets, b)
+		}
+	}
+
+	// Single chain (the default): stream trace points directly to the
+	// caller as the search runs, exactly as the serial SA always did.
+	if len(budgets) == 1 {
+		best := saChain(ev, opt, chainSeed(opt.Seed, 0), budgets[0], opt.Trace)
+		if math.IsInf(best.Cost, 1) {
+			return best, errInfeasibleSA
+		}
+		return best, nil
+	}
+
+	// The restart loop: chains are independent, so they run on a worker
+	// pool. Trace points are buffered per chain and replayed in chain order
+	// below, keeping the observable stream deterministic.
+	bests := make([]*core.Genome, len(budgets))
+	traces := make([][]core.TracePoint, len(budgets))
+	core.ParallelFor(len(budgets), opt.Workers, func(i int) {
+		var sink func(core.TracePoint)
+		if opt.Trace != nil {
+			sink = func(tp core.TracePoint) { traces[i] = append(traces[i], tp) }
+		}
+		bests[i] = saChain(ev, opt, chainSeed(opt.Seed, i), budgets[i], sink)
+	})
+
+	var best *core.Genome
+	sampleBase := 0
+	for i, b := range bests {
+		if opt.Trace != nil {
+			for _, tp := range traces[i] {
+				tp.Sample += sampleBase
+				opt.Trace(tp)
+			}
+		}
+		sampleBase += budgets[i]
+		if best == nil || b.Cost < best.Cost {
+			best = b
+		}
+	}
+	if best == nil || math.IsInf(best.Cost, 1) {
+		return best, errInfeasibleSA
+	}
+	return best, nil
+}
+
+// saChain anneals one chain for the given sample budget, reporting every
+// evaluation to sink (if non-nil) with chain-local 1-based sample indices;
+// SA rebases them globally for multi-restart runs.
+func saChain(ev *eval.Evaluator, opt SAOptions, seed int64, budget int, sink func(core.TracePoint)) *core.Genome {
+	rng := rand.New(rand.NewSource(seed))
 
 	cost := func(g *core.Genome) float64 {
 		if !g.Res.Feasible() {
@@ -54,8 +144,8 @@ func SA(ev *eval.Evaluator, opt SAOptions) (*core.Genome, error) {
 	evaluate := func(gnm *core.Genome, sample int) {
 		gnm.P, gnm.Res = core.RepairInSitu(ev, rng, gnm.P, gnm.Mem)
 		gnm.Cost = cost(gnm)
-		if opt.Trace != nil {
-			opt.Trace(core.TracePoint{
+		if sink != nil {
+			sink(core.TracePoint{
 				Sample:   sample,
 				Cost:     gnm.Cost,
 				Metric:   gnm.Res.MetricValue(opt.Objective.Metric),
@@ -72,9 +162,9 @@ func SA(ev *eval.Evaluator, opt SAOptions) (*core.Genome, error) {
 	evaluate(cur, 1)
 	best := cur.Clone()
 
-	cooling := math.Pow(opt.FinalTemp/opt.InitialTemp, 1/float64(maxInt(opt.MaxSamples-1, 1)))
+	cooling := math.Pow(opt.FinalTemp/opt.InitialTemp, 1/float64(maxInt(budget-1, 1)))
 	temp := opt.InitialTemp
-	for s := 2; s <= opt.MaxSamples; s++ {
+	for s := 2; s <= budget; s++ {
 		cand := cur.Clone()
 		// One random move: a partition mutation, or mutation-DSE when the
 		// hardware is searchable.
@@ -107,10 +197,7 @@ func SA(ev *eval.Evaluator, opt SAOptions) (*core.Genome, error) {
 		}
 		temp *= cooling
 	}
-	if math.IsInf(best.Cost, 1) {
-		return best, errInfeasibleSA
-	}
-	return best, nil
+	return best
 }
 
 var errInfeasibleSA = errSA("baselines: SA found no feasible solution")

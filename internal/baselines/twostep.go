@@ -30,6 +30,9 @@ func (m SampleMethod) String() string {
 // TwoStepOptions configures the decoupled capacity-then-partition scheme.
 type TwoStepOptions struct {
 	Seed int64
+	// Workers is the evaluation parallelism handed to each per-candidate
+	// GA (0 = runtime.NumCPU()); it never changes results.
+	Workers int
 	// Method selects RS or GS capacity sampling.
 	Method SampleMethod
 	// Candidates is how many capacity configurations to try.
@@ -73,6 +76,7 @@ func TwoStep(ev *eval.Evaluator, opt TwoStepOptions) (*core.Genome, error) {
 	for ci, mem := range cands {
 		gaOpt := core.Options{
 			Seed:       opt.Seed + int64(ci) + 1,
+			Workers:    opt.Workers,
 			MaxSamples: opt.SamplesPerCandidate,
 			Objective:  opt.Objective,
 			Mem:        core.MemSearch{Search: false, Fixed: mem},

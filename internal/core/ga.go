@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"cocco/internal/eval"
 	"cocco/internal/hw"
@@ -78,27 +79,29 @@ func (o *Optimizer) bestCost() float64 {
 }
 
 // initialPopulation seeds from Options.Init (if any) and fills with random
-// genomes (§4.4.1).
+// genomes (§4.4.1). Candidates are drawn serially from the master RNG and
+// scored by the parallel evaluation engine.
 func (o *Optimizer) initialPopulation() []*Genome {
-	pop := make([]*Genome, 0, o.opt.Population)
+	cands := make([]candidate, 0, o.opt.Population)
 	for _, p := range o.opt.Init {
-		if len(pop) >= o.opt.Population {
+		if len(cands) >= o.opt.Population || o.samples+len(cands) >= o.opt.MaxSamples {
 			break
 		}
-		pop = append(pop, o.evaluate(p.Clone(), randomMem(o.rng, o.opt.Mem)))
+		cands = append(cands, candidate{p: p.Clone(), mem: randomMem(o.rng, o.opt.Mem)})
 	}
-	for len(pop) < o.opt.Population && o.samples < o.opt.MaxSamples {
+	for len(cands) < o.opt.Population && o.samples+len(cands) < o.opt.MaxSamples {
 		p := RandomPartition(o.ev.Graph(), o.rng, o.opt.PNewInit)
-		pop = append(pop, o.evaluate(p, randomMem(o.rng, o.opt.Mem)))
+		cands = append(cands, candidate{p: p, mem: randomMem(o.rng, o.opt.Mem)})
 	}
-	return pop
+	return o.evaluateBatch(cands)
 }
 
 // makeOffspring produces one generation of offspring via crossover and the
-// customized mutations.
+// customized mutations. All RNG draws that shape the candidates happen
+// serially here, on the master RNG; scoring is farmed out afterwards.
 func (o *Optimizer) makeOffspring(pop []*Genome) []*Genome {
-	var out []*Genome
-	for len(out) < o.opt.Population && o.samples < o.opt.MaxSamples {
+	cands := make([]candidate, 0, o.opt.Population)
+	for len(cands) < o.opt.Population && o.samples+len(cands) < o.opt.MaxSamples {
 		var child *Genome
 		dad := pop[o.rng.Intn(len(pop))]
 		if !o.opt.DisableCrossover && o.rng.Float64() < o.opt.CrossoverProb {
@@ -109,9 +112,122 @@ func (o *Optimizer) makeOffspring(pop []*Genome) []*Genome {
 			child = dad.Clone()
 		}
 		o.mutate(child)
-		out = append(out, o.evaluate(child.P, child.Mem))
+		cands = append(cands, candidate{p: child.P, mem: child.Mem})
 	}
-	return out
+	return o.evaluateBatch(cands)
+}
+
+// candidate is one genome awaiting evaluation.
+type candidate struct {
+	p   *partition.Partition
+	mem hw.MemConfig
+}
+
+// ChildSeed derives an independent RNG seed from a run seed and a 1-based
+// index (a sample for the GA, a restart chain for SA), via a
+// splitmix64-style mix so nearby indices yield uncorrelated streams.
+// Making per-unit randomness a pure function of (seed, index) is what keeps
+// parallel runs bit-identical: the draws no longer depend on execution
+// order.
+func ChildSeed(seed int64, index int) int64 {
+	z := uint64(seed) ^ uint64(index)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on up to workers goroutines
+// and returns when all calls have finished. fn must be safe to call
+// concurrently; iteration order is unspecified, so determinism must come
+// from fn writing only to its own index's state.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// evaluateBatch is the deterministic parallel evaluation engine: the batch
+// is scored on Options.Workers goroutines (each sample repairing with its
+// own child RNG) and the results are committed to the optimizer state in
+// submission order, so Stats, Trace, elitism, and the best-genome update
+// are identical for every worker count.
+func (o *Optimizer) evaluateBatch(cands []candidate) []*Genome {
+	scored := make([]*Genome, len(cands))
+	ParallelFor(len(cands), o.opt.Workers, func(i int) {
+		scored[i] = o.score(cands[i], o.samples+i+1)
+	})
+	for _, g := range scored {
+		o.commit(g)
+	}
+	return scored
+}
+
+// score evaluates one candidate, applying the in-situ split repair of
+// §4.4.4: subgraphs exceeding the buffer capacity are split until everything
+// fits (singletons always fit via the layer-level tiling fallback). It is
+// safe to call concurrently: it touches no optimizer state beyond the
+// read-only options and the internally synchronized evaluator.
+func (o *Optimizer) score(c candidate, sample int) *Genome {
+	g := &Genome{P: c.p, Mem: c.mem}
+	var res *eval.Result
+	if o.opt.DisableInSituSplit {
+		res = o.ev.Partition(g.P, g.Mem)
+	} else {
+		rng := rand.New(rand.NewSource(ChildSeed(o.opt.Seed, sample)))
+		g.P, res = RepairInSitu(o.ev, rng, g.P, g.Mem)
+	}
+	g.Res = res
+	if res.Feasible() {
+		g.Cost = o.cost(g, res)
+	} else {
+		g.Cost = infeasibleCost + float64(len(res.Infeasible))
+	}
+	return g
+}
+
+// commit folds one scored genome into the optimizer state. Called serially,
+// in submission order.
+func (o *Optimizer) commit(g *Genome) {
+	o.samples++
+	if g.Res.Feasible() {
+		o.stats.FeasibleSamples++
+		if o.best == nil || g.Cost < o.best.Cost {
+			o.best = g.Clone()
+		}
+	}
+	if o.opt.Trace != nil {
+		o.opt.Trace(TracePoint{
+			Sample:     o.samples,
+			Cost:       g.Cost,
+			Metric:     g.Res.MetricValue(o.opt.Objective.Metric),
+			Mem:        g.Mem,
+			Feasible:   g.Res.Feasible(),
+			BestCost:   o.bestCost(),
+			Generation: o.gen,
+		})
+	}
 }
 
 func (o *Optimizer) mutate(g *Genome) {
@@ -127,42 +243,6 @@ func (o *Optimizer) mutate(g *Genome) {
 	if o.opt.Mem.Search && o.rng.Float64() < o.opt.MutDSE {
 		g.Mem = mutateDSE(o.rng, o.opt.Mem, o.opt.DSESigmaSteps, g.Mem)
 	}
-}
-
-// evaluate scores a genome, applying the in-situ split repair of §4.4.4:
-// subgraphs exceeding the buffer capacity are split until everything fits
-// (singletons always fit via the layer-level tiling fallback).
-func (o *Optimizer) evaluate(p *partition.Partition, mem hw.MemConfig) *Genome {
-	g := &Genome{P: p, Mem: mem}
-	var res *eval.Result
-	if o.opt.DisableInSituSplit {
-		res = o.ev.Partition(g.P, g.Mem)
-	} else {
-		g.P, res = RepairInSitu(o.ev, o.rng, g.P, g.Mem)
-	}
-	g.Res = res
-	if res.Feasible() {
-		g.Cost = o.cost(g, res)
-		o.stats.FeasibleSamples++
-		if o.best == nil || g.Cost < o.best.Cost {
-			o.best = g.Clone()
-		}
-	} else {
-		g.Cost = infeasibleCost + float64(len(res.Infeasible))
-	}
-	o.samples++
-	if o.opt.Trace != nil {
-		o.opt.Trace(TracePoint{
-			Sample:     o.samples,
-			Cost:       g.Cost,
-			Metric:     res.MetricValue(o.opt.Objective.Metric),
-			Mem:        g.Mem,
-			Feasible:   res.Feasible(),
-			BestCost:   o.bestCost(),
-			Generation: o.gen,
-		})
-	}
-	return g
 }
 
 func (o *Optimizer) cost(g *Genome, res *eval.Result) float64 {

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"cocco/internal/eval"
 	"cocco/internal/hw"
@@ -73,6 +74,12 @@ type TracePoint struct {
 type Options struct {
 	// Seed drives all randomness; runs are reproducible.
 	Seed int64
+	// Workers is the number of goroutines scoring genomes concurrently
+	// (default runtime.NumCPU()). Candidate generation stays serial on the
+	// master RNG and each sample's repair uses a child RNG derived from
+	// (Seed, sample index), so results are bit-identical for every worker
+	// count; Workers only changes wall-clock time.
+	Workers int
 	// Population size (paper Fig. 13 uses 500).
 	Population int
 	// MaxSamples is the total genome-evaluation budget (paper: up to
@@ -109,6 +116,9 @@ type Options struct {
 
 // withDefaults fills unset fields.
 func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
 	if o.Population <= 0 {
 		o.Population = 100
 	}

@@ -12,8 +12,10 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cocco/internal/graph"
 	"cocco/internal/hw"
@@ -82,18 +84,30 @@ type SubgraphCost struct {
 // EMABytes is the subgraph's external traffic for one sample.
 func (c *SubgraphCost) EMABytes() int64 { return c.WeightBytes + c.InBytes + c.OutBytes }
 
+// cacheShards is the number of independently locked cost-cache segments.
+// The parallel GA hits the cache from every worker on every sample, so a
+// single mutex serializes the whole search; 64 shards keep contention
+// negligible at any realistic core count for a few KiB of fixed overhead.
+const cacheShards = 64
+
+// cacheShard is one independently locked segment of the cost cache.
+type cacheShard struct {
+	mu    sync.Mutex
+	cache map[string]*SubgraphCost
+}
+
 // Evaluator evaluates partitions of one graph on one platform.
-// It is safe for concurrent use.
+// It is safe for concurrent use: the subgraph-cost cache is sharded N ways
+// by key hash so concurrent lookups only contend within a shard.
 type Evaluator struct {
 	g        *graph.Graph
 	platform hw.Platform
 	tcfg     tiling.Config
 	prefetch bool
 
-	mu    sync.Mutex
-	cache map[string]*SubgraphCost
-	hits  int64
-	calls int64
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	calls  atomic.Int64
 }
 
 // EnablePrefetchCheck makes feasibility account for the weight prefetch of
@@ -109,7 +123,11 @@ func New(g *graph.Graph, p hw.Platform, tcfg tiling.Config) (*Evaluator, error) 
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Evaluator{g: g, platform: p, tcfg: tcfg, cache: map[string]*SubgraphCost{}}, nil
+	e := &Evaluator{g: g, platform: p, tcfg: tcfg}
+	for i := range e.shards {
+		e.shards[i].cache = map[string]*SubgraphCost{}
+	}
+	return e, nil
 }
 
 // MustNew is New that panics on error.
@@ -128,41 +146,77 @@ func (e *Evaluator) Graph() *graph.Graph { return e.g }
 func (e *Evaluator) Platform() hw.Platform { return e.platform }
 
 // CacheStats reports memoization effectiveness (hits, total lookups).
+// Lookups are deterministic for a fixed-seed search, but with concurrent
+// callers two goroutines can miss on the same cold key and both compute,
+// so hits may vary by a few counts across runs; use CacheEntries for a
+// scheduling-independent measure.
 func (e *Evaluator) CacheStats() (hits, calls int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.hits, e.calls
+	return e.hits.Load(), e.calls.Load()
 }
 
+// CacheEntries reports the number of distinct subgraphs computed. Unlike
+// the hit counter it is fully deterministic under concurrency: the set of
+// evaluated subgraphs depends only on the search trajectory, not on which
+// goroutine won a cold-miss race.
+func (e *Evaluator) CacheEntries() int64 {
+	var n int64
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.cache))
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// memberKey packs the sorted member ids into a compact cache key, 4 bytes
+// per id. Ids outside [0, 2^32) would alias another subgraph's key, so they
+// panic instead of silently corrupting the cost cache.
 func memberKey(members []int) string {
-	b := make([]byte, 0, len(members)*3)
+	b := make([]byte, 0, len(members)*4)
 	for _, id := range members {
-		b = append(b, byte(id>>16), byte(id>>8), byte(id))
+		if id < 0 || uint64(id) > math.MaxUint32 {
+			panic(fmt.Sprintf("eval: node id %d outside the 32-bit cache-key range", id))
+		}
+		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
 	}
 	return string(b)
 }
 
+// shardOf maps a cache key to its shard by FNV-1a hash.
+func shardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % cacheShards)
+}
+
 // Subgraph computes (or returns the memoized) raw cost of the subgraph with
-// the given member ids. Members need not be sorted.
+// the given member ids. Members need not be sorted. Two goroutines missing
+// on the same key may both compute it; the results are identical and the
+// duplicate write is harmless, so no cross-shard coordination is needed.
 func (e *Evaluator) Subgraph(members []int) *SubgraphCost {
 	m := append([]int(nil), members...)
 	sort.Ints(m)
 	key := memberKey(m)
+	s := &e.shards[shardOf(key)]
 
-	e.mu.Lock()
-	e.calls++
-	if c, ok := e.cache[key]; ok {
-		e.hits++
-		e.mu.Unlock()
+	e.calls.Add(1)
+	s.mu.Lock()
+	if c, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		e.hits.Add(1)
 		return c
 	}
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	c := e.computeSubgraph(m)
 
-	e.mu.Lock()
-	e.cache[key] = c
-	e.mu.Unlock()
+	s.mu.Lock()
+	s.cache[key] = c
+	s.mu.Unlock()
 	return c
 }
 

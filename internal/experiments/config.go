@@ -21,6 +21,12 @@ import (
 type Config struct {
 	// Seed drives every stochastic component.
 	Seed int64
+	// Workers is the number of goroutines each search uses to score genomes
+	// (0 = runtime.NumCPU()). Results are identical for every worker count;
+	// only wall-clock time changes. The SA baseline is the exception: its
+	// parallelism is at restart granularity and the paper's method is one
+	// chain, so SA experiment rows stay serial regardless of Workers.
+	Workers int
 	// PartitionSamples is the Cocco budget for partition-only searches
 	// (Figure 11; paper: 400,000).
 	PartitionSamples int

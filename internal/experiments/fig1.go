@@ -43,6 +43,7 @@ func Figure1Sweep(cfg Config, model string) ([]Fig1Point, string) {
 		mem := hw.MemConfig{Kind: hw.SharedBuffer, GlobalBytes: kb * hw.KiB}
 		best, _, err := core.Run(ev, core.Options{
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 			Population: cfg.Population,
 			MaxSamples: cfg.FinalSamples,
 			Objective:  eval.Objective{Metric: eval.MetricEMA},
@@ -92,7 +93,7 @@ func AblationPrefetch(cfg Config) ([]AblationPrefetchRow, string) {
 				ev.EnablePrefetchCheck()
 			}
 			best, _, err := core.Run(ev, core.Options{
-				Seed: cfg.Seed, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
+				Seed: cfg.Seed, Workers: cfg.Workers, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
 				Objective: obj,
 				Mem:       core.MemSearch{Fixed: mem},
 			})

@@ -50,6 +50,7 @@ func Figure11(cfg Config) ([]Fig11Row, string) {
 
 		best, _, err := core.Run(ev, core.Options{
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 			Population: cfg.Population,
 			MaxSamples: cfg.PartitionSamples,
 			Objective:  obj,

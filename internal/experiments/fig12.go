@@ -124,7 +124,7 @@ func runConvergenceMethod(ev *eval.Evaluator, cfg Config, obj eval.Objective, me
 	fixedRun := func(gKB, wKB int64) {
 		mem := hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: gKB * hw.KiB, WeightBytes: wKB * hw.KiB}
 		_, _, _ = core.Run(ev, core.Options{
-			Seed: cfg.Seed, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
+			Seed: cfg.Seed, Workers: cfg.Workers, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
 			Objective: eval.Objective{Metric: obj.Metric},
 			Mem:       core.MemSearch{Fixed: mem},
 			Trace:     fixedTrace(mem),
@@ -144,7 +144,7 @@ func runConvergenceMethod(ev *eval.Evaluator, cfg Config, obj eval.Objective, me
 			sm = baselines.GridSearch
 		}
 		_, _ = baselines.TwoStep(ev, baselines.TwoStepOptions{
-			Seed: cfg.Seed, Method: sm,
+			Seed: cfg.Seed, Workers: cfg.Workers, Method: sm,
 			Candidates:          cfg.TwoStepCandidates,
 			SamplesPerCandidate: cfg.CoOptSamples / maxInt(cfg.TwoStepCandidates, 1),
 			Kind:                hw.SeparateBuffer, Global: grange, Weight: wrange,
@@ -152,13 +152,13 @@ func runConvergenceMethod(ev *eval.Evaluator, cfg Config, obj eval.Objective, me
 		})
 	case "SA":
 		_, _ = baselines.SA(ev, baselines.SAOptions{
-			Seed: cfg.Seed, MaxSamples: cfg.CoOptSamples, Objective: obj,
+			Seed: cfg.Seed, Workers: cfg.Workers, MaxSamples: cfg.CoOptSamples, Objective: obj,
 			Mem:   core.MemSearch{Search: true, Kind: hw.SeparateBuffer, Global: grange, Weight: wrange},
 			Trace: trace,
 		})
 	case "Cocco":
 		_, _, _ = core.Run(ev, core.Options{
-			Seed: cfg.Seed, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
+			Seed: cfg.Seed, Workers: cfg.Workers, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
 			Objective: obj,
 			Mem:       core.MemSearch{Search: true, Kind: hw.SeparateBuffer, Global: grange, Weight: wrange},
 			Trace:     trace,

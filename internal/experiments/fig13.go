@@ -44,6 +44,7 @@ func Figure13(cfg Config) (map[string][]Fig13Group, string) {
 		var pts []pt
 		_, _, err := core.Run(ev, core.Options{
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 			Population: cfg.Population,
 			MaxSamples: cfg.CoOptSamples,
 			Objective:  obj,

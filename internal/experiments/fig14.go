@@ -35,6 +35,7 @@ func Figure14(cfg Config) ([]Fig14Row, string) {
 			obj := eval.Objective{Metric: eval.MetricEnergy, Alpha: a}
 			best, _, err := core.Run(ev, core.Options{
 				Seed:       cfg.Seed,
+				Workers:    cfg.Workers,
 				Population: cfg.Population,
 				MaxSamples: cfg.CoOptSamples,
 				Objective:  obj,

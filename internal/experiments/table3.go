@@ -42,6 +42,7 @@ func Table3(cfg Config) ([]Table3Row, string) {
 				ev := evaluatorFor(m, pl)
 				best, _, err := core.Run(ev, core.Options{
 					Seed:       cfg.Seed,
+					Workers:    cfg.Workers,
 					Population: cfg.Population,
 					MaxSamples: cfg.CoOptSamples,
 					Objective:  obj,

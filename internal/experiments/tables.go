@@ -111,6 +111,7 @@ func exploreMem(ev *eval.Evaluator, cfg Config, kind hw.BufferKind, obj eval.Obj
 		}
 		best, err := baselines.TwoStep(ev, baselines.TwoStepOptions{
 			Seed:                cfg.Seed,
+			Workers:             cfg.Workers,
 			Method:              sm,
 			Candidates:          cfg.TwoStepCandidates,
 			SamplesPerCandidate: cfg.CoOptSamples / maxInt(cfg.TwoStepCandidates, 1),
@@ -126,6 +127,7 @@ func exploreMem(ev *eval.Evaluator, cfg Config, kind hw.BufferKind, obj eval.Obj
 	case "SA":
 		best, err := baselines.SA(ev, baselines.SAOptions{
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 			MaxSamples: cfg.CoOptSamples,
 			Objective:  obj,
 			Mem:        core.MemSearch{Search: true, Kind: kind, Global: grange, Weight: wrange},
@@ -137,6 +139,7 @@ func exploreMem(ev *eval.Evaluator, cfg Config, kind hw.BufferKind, obj eval.Obj
 	case "Cocco":
 		best, _, err := core.Run(ev, core.Options{
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 			Population: cfg.Population,
 			MaxSamples: cfg.CoOptSamples,
 			Objective:  obj,
@@ -156,6 +159,7 @@ func exploreMem(ev *eval.Evaluator, cfg Config, kind hw.BufferKind, obj eval.Obj
 func finalPartitionCost(ev *eval.Evaluator, mem hw.MemConfig, obj eval.Objective, cfg Config) (float64, *eval.Result, *partition.Partition) {
 	best, _, err := core.Run(ev, core.Options{
 		Seed:       cfg.Seed + 7,
+		Workers:    cfg.Workers,
 		Population: cfg.Population,
 		MaxSamples: cfg.FinalSamples,
 		Objective:  obj,
