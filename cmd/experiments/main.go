@@ -65,7 +65,8 @@ func main() {
 			_, c := experiments.AblationCache(cfg)
 			_, d := experiments.AblationPrefetch(cfg)
 			_, e := experiments.AblationSeeding(cfg)
-			return a + b + c + d + e
+			_, f := experiments.AblationDeltaEval(cfg)
+			return a + b + c + d + e + f
 		}},
 		{"bounds", experiments.MinEMABounds},
 	}

@@ -1,0 +1,152 @@
+package cocco
+
+// Golden-regression corpus: one small, fully seeded GA run per model in the
+// zoo, with the best partition and its evaluation pinned under
+// testdata/golden/. Any change to the search trajectory, the evaluation
+// model, or the delta-evaluation layer that alters results shows up as a
+// readable JSON diff here. Regenerate intentionally with
+//
+//	go test -run TestGoldenRegression -update .
+//
+// The runs ride on the PR-1 determinism contract: results are bit-identical
+// for every Workers value, so the corpus is stable across machines.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/models"
+	"cocco/internal/serialize"
+	"cocco/internal/tiling"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden instead of diffing")
+
+// goldenBudget mirrors experiments.Quick()'s final-pass budget: big enough
+// that the search leaves the random-initialization regime, small enough that
+// the whole corpus regenerates in seconds.
+const (
+	goldenSamples    = 1500
+	goldenPopulation = 50
+	goldenSeed       = 42
+)
+
+// goldenRun is the pinned outcome of one seeded run.
+type goldenRun struct {
+	Model         string          `json:"model"`
+	Seed          int64           `json:"seed"`
+	MaxSamples    int             `json:"max_samples"`
+	Population    int             `json:"population"`
+	Cost          float64         `json:"cost"`
+	EMABytes      int64           `json:"ema_bytes"`
+	EnergyPJ      float64         `json:"energy_pj"`
+	LatencyCycles int64           `json:"latency_cycles"`
+	Feasible      bool            `json:"feasible"`
+	Subgraphs     int             `json:"subgraphs"`
+	BestPartition json.RawMessage `json:"best_partition"`
+}
+
+func goldenFor(t *testing.T, model string) []byte {
+	t.Helper()
+	ev := eval.MustNew(models.MustBuild(model), hw.DefaultPlatform(), tiling.DefaultConfig())
+	mem := hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: 1024 * hw.KiB, WeightBytes: 1152 * hw.KiB}
+	best, _, err := core.Run(ev, core.Options{
+		Seed: goldenSeed, Workers: 4, Population: goldenPopulation, MaxSamples: goldenSamples,
+		Objective: eval.Objective{Metric: eval.MetricEMA},
+		Mem:       core.MemSearch{Fixed: mem},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", model, err)
+	}
+	pj, err := serialize.EncodePartition(best.P)
+	if err != nil {
+		t.Fatalf("%s: encode partition: %v", model, err)
+	}
+	out, err := json.MarshalIndent(goldenRun{
+		Model:         model,
+		Seed:          goldenSeed,
+		MaxSamples:    goldenSamples,
+		Population:    goldenPopulation,
+		Cost:          best.Cost,
+		EMABytes:      best.Res.EMABytes,
+		EnergyPJ:      best.Res.EnergyPJ,
+		LatencyCycles: best.Res.LatencyCycles,
+		Feasible:      best.Res.Feasible(),
+		Subgraphs:     best.Res.NumSubgraphs,
+		BestPartition: pj,
+	}, "", "  ")
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", model, err)
+	}
+	return append(out, '\n')
+}
+
+// TestGoldenRegression diffs every model's seeded run against its pinned
+// dump, or rewrites the corpus under -update.
+func TestGoldenRegression(t *testing.T) {
+	for _, model := range models.Names() {
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			got := goldenFor(t, model)
+			path := filepath.Join("testdata", "golden", model+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestGoldenRegression -update .`): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("golden mismatch for %s — if the change is intentional, regenerate with -update\n%s",
+					model, goldenDiff(string(want), string(got)))
+			}
+		})
+	}
+}
+
+// goldenDiff renders a compact first-divergence report (full JSON diffs are
+// long; the first differing line plus context is what a reviewer needs).
+func goldenDiff(want, got string) string {
+	wl, gl := splitLines(want), splitLines(got)
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first divergence at line %d:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+	}
+	return "contents equal?"
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+)
+
+// TestDeltaFullGAEquivalence pins the cross-engine contract at the search
+// level: a full GA run scored through Evaluator.PartitionDelta must be
+// bit-identical — best cost, per-generation history, and the entire trace
+// stream — to the same run scored through the from-scratch
+// Evaluator.Partition, for both the partition-only and the co-exploration
+// objective. Combined with TestWorkersDeterminism this keeps the PR-1
+// determinism contract independent of the evaluation engine.
+func TestDeltaFullGAEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		ms   MemSearch
+		obj  eval.Objective
+	}{
+		{"fixed-mem", MemSearch{Fixed: fixedMem()}, eval.Objective{Metric: eval.MetricEMA}},
+		{"mem-dse", MemSearch{Search: true, Kind: hw.SeparateBuffer,
+			Global: hw.PaperGlobalRange(), Weight: hw.PaperWeightRange()},
+			eval.Objective{Metric: eval.MetricEnergy, Alpha: 0.002}},
+	}
+	run := func(t *testing.T, disableDelta bool, ms MemSearch, obj eval.Objective) (float64, []float64, []TracePoint) {
+		t.Helper()
+		ev := testEval(t, "googlenet")
+		var trace []TracePoint
+		best, stats, err := Run(ev, Options{
+			Seed: 23, Workers: 4, Population: 30, MaxSamples: 900,
+			Objective:        obj,
+			Mem:              ms,
+			DisableDeltaEval: disableDelta,
+			Trace:            func(tp TracePoint) { trace = append(trace, tp) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Cost, stats.BestHistory, trace
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cd, hd, td := run(t, false, tc.ms, tc.obj)
+			cf, hf, tf := run(t, true, tc.ms, tc.obj)
+			if cd != cf {
+				t.Errorf("best cost differs: delta %g vs full %g", cd, cf)
+			}
+			if len(hd) != len(hf) {
+				t.Fatalf("BestHistory length differs: %d vs %d", len(hd), len(hf))
+			}
+			for i := range hd {
+				if hd[i] != hf[i] {
+					t.Fatalf("BestHistory[%d] differs: %g vs %g", i, hd[i], hf[i])
+				}
+			}
+			if len(td) != len(tf) {
+				t.Fatalf("trace length differs: %d vs %d", len(td), len(tf))
+			}
+			for i := range td {
+				if td[i] != tf[i] {
+					t.Fatalf("trace[%d] differs: %+v vs %+v", i, td[i], tf[i])
+				}
+			}
+		})
+	}
+}

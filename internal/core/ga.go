@@ -193,10 +193,14 @@ func (o *Optimizer) score(c candidate, sample int) *Genome {
 	g := &Genome{P: c.p, Mem: c.mem}
 	var res *eval.Result
 	if o.opt.DisableInSituSplit {
-		res = o.ev.Partition(g.P, g.Mem)
+		if o.opt.DisableDeltaEval {
+			res = o.ev.Partition(g.P, g.Mem)
+		} else {
+			res = o.ev.PartitionDelta(g.P, g.Mem)
+		}
 	} else {
 		rng := rand.New(rand.NewSource(ChildSeed(o.opt.Seed, sample)))
-		g.P, res = RepairInSitu(o.ev, rng, g.P, g.Mem)
+		g.P, res = repairInSitu(o.ev, rng, g.P, g.Mem, o.opt.DisableDeltaEval)
 	}
 	g.Res = res
 	if res.Feasible() {

@@ -112,6 +112,11 @@ type Options struct {
 	// benchmarks; both default to enabled behavior.
 	DisableCrossover   bool
 	DisableInSituSplit bool
+	// DisableDeltaEval scores genomes with the full from-scratch
+	// Evaluator.Partition instead of the incremental PartitionDelta. The two
+	// paths are bit-identical (the equivalence suite pins this), so the flag
+	// only exists for the delta-vs-full ablation and benchmarks.
+	DisableDeltaEval bool
 }
 
 // withDefaults fills unset fields.

@@ -86,9 +86,22 @@ func RandomMemConfig(rng *rand.Rand, ms MemSearch) hw.MemConfig {
 
 // RepairInSitu applies the in-situ split repair of §4.4.4 outside the GA:
 // infeasible subgraphs are split until everything fits or no split applies.
-// Returns the repaired partition and its evaluation.
+// Returns the repaired partition and its evaluation. Re-evaluations after
+// each split go through Evaluator.PartitionDelta — the split carries every
+// untouched subgraph's cost handle, so a repair iteration only re-derives
+// the two halves it created.
 func RepairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, mem hw.MemConfig) (*partition.Partition, *eval.Result) {
-	res := ev.Partition(p, mem)
+	return repairInSitu(ev, rng, p, mem, false)
+}
+
+// repairInSitu is RepairInSitu with a switch for the full-recompute
+// evaluation path (the delta-vs-full ablation); both paths are bit-identical.
+func repairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, mem hw.MemConfig, fullEval bool) (*partition.Partition, *eval.Result) {
+	evaluate := ev.PartitionDelta
+	if fullEval {
+		evaluate = ev.Partition
+	}
+	res := evaluate(p, mem)
 	for iter := 0; iter < 64 && !res.Feasible(); iter++ {
 		split := false
 		for _, s := range res.Infeasible {
@@ -104,7 +117,7 @@ func RepairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, me
 		if !split {
 			break
 		}
-		res = ev.Partition(p, mem)
+		res = evaluate(p, mem)
 	}
 	return p, res
 }

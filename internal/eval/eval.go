@@ -12,7 +12,6 @@ package eval
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -105,9 +104,10 @@ type Evaluator struct {
 	tcfg     tiling.Config
 	prefetch bool
 
-	shards [cacheShards]cacheShard
-	hits   atomic.Int64
-	calls  atomic.Int64
+	shards     [cacheShards]cacheShard
+	hits       atomic.Int64
+	calls      atomic.Int64
+	deltaReuse atomic.Int64
 }
 
 // EnablePrefetchCheck makes feasibility account for the weight prefetch of
@@ -154,6 +154,11 @@ func (e *Evaluator) CacheStats() (hits, calls int64) {
 	return e.hits.Load(), e.calls.Load()
 }
 
+// DeltaStats reports how many subgraph costs PartitionDelta served straight
+// from carried handles — lookups that never touched the cost cache (and so
+// are invisible to CacheStats).
+func (e *Evaluator) DeltaStats() (reused int64) { return e.deltaReuse.Load() }
+
 // CacheEntries reports the number of distinct subgraphs computed. Unlike
 // the hit counter it is fully deterministic under concurrency: the set of
 // evaluated subgraphs depends only on the search trajectory, not on which
@@ -170,18 +175,10 @@ func (e *Evaluator) CacheEntries() int64 {
 }
 
 // memberKey packs the sorted member ids into a compact cache key, 4 bytes
-// per id. Ids outside [0, 2^32) would alias another subgraph's key, so they
-// panic instead of silently corrupting the cost cache.
-func memberKey(members []int) string {
-	b := make([]byte, 0, len(members)*4)
-	for _, id := range members {
-		if id < 0 || uint64(id) > math.MaxUint32 {
-			panic(fmt.Sprintf("eval: node id %d outside the 32-bit cache-key range", id))
-		}
-		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
-	}
-	return string(b)
-}
+// per id, with a [0, 2^32) guard. The canonical definition lives in
+// partition.MemberKey so partitions can intern the same keys per subgraph
+// and hand them to the evaluator without rebuilding the string per lookup.
+func memberKey(members []int) string { return partition.MemberKey(members) }
 
 // shardOf maps a cache key to its shard by FNV-1a hash.
 func shardOf(key string) int {
@@ -200,7 +197,14 @@ func shardOf(key string) int {
 func (e *Evaluator) Subgraph(members []int) *SubgraphCost {
 	m := append([]int(nil), members...)
 	sort.Ints(m)
-	key := memberKey(m)
+	return e.subgraphByKey(memberKey(m), func() []int { return m })
+}
+
+// subgraphByKey looks the cost up by a pre-built canonical key; members is
+// called (once, on a cold miss) to obtain the sorted member ids to compute
+// with. Callers holding an interned key skip the per-lookup copy, sort, and
+// string build of Subgraph.
+func (e *Evaluator) subgraphByKey(key string, members func() []int) *SubgraphCost {
 	s := &e.shards[shardOf(key)]
 
 	e.calls.Add(1)
@@ -212,7 +216,7 @@ func (e *Evaluator) Subgraph(members []int) *SubgraphCost {
 	}
 	s.mu.Unlock()
 
-	c := e.computeSubgraph(m)
+	c := e.computeSubgraph(members())
 
 	s.mu.Lock()
 	s.cache[key] = c
@@ -404,13 +408,73 @@ func (e *Evaluator) SubgraphMetric(c *SubgraphCost, mem hw.MemConfig, m Metric) 
 // Partition evaluates the whole partition under mem by summing per-subgraph
 // contributions.
 func (e *Evaluator) Partition(p *partition.Partition, mem hw.MemConfig) *Result {
-	res := &Result{NumSubgraphs: p.NumSubgraphs()}
 	subs := p.Subgraphs()
-	infeasible := make([]bool, len(subs))
-	costs := make([]*SubgraphCost, len(subs))
-	wgts := make([]int64, len(subs))
-	for si, members := range subs {
-		c := e.Subgraph(members)
+	return e.partitionEval(len(subs), mem, func(si int) *SubgraphCost {
+		return e.Subgraph(subs[si])
+	})
+}
+
+// PartitionDelta evaluates the partition like Partition but through the
+// per-subgraph cost handles carried on the partition itself: subgraphs whose
+// handle survived the producing operator (TryModifyNode/TrySplit/TryMerge
+// carry handles for every untouched subgraph) cost one pointer load, and only
+// the dirty ones re-enter the cost cache — via the subgraph's interned member
+// key, so even those skip the per-lookup copy/sort/string build. Partitions
+// with no carried state (fresh, crossover-built, or deserialized) fall back
+// to a full recompute that fills every handle.
+//
+// The result is bit-identical to Partition: both paths feed the same
+// contributions through partitionEval in the same subgraph order, and a
+// handle is only ever carried when the member set is provably unchanged.
+// Handle fills mutate p's caches, so the caller must own p (single writer).
+func (e *Evaluator) PartitionDelta(p *partition.Partition, mem hw.MemConfig) *Result {
+	return e.partitionEval(p.NumSubgraphs(), mem, func(si int) *SubgraphCost {
+		if h, ok := p.CostHandle(si).(costHandle); ok && h.ev == e {
+			e.deltaReuse.Add(1)
+			return h.c
+		}
+		key := p.SubgraphKey(si)
+		c := e.subgraphByKey(key, func() []int { return membersFromKey(key) })
+		p.SetCostHandle(si, costHandle{ev: e, c: c})
+		return c
+	})
+}
+
+// costHandle is the opaque per-subgraph cache entry PartitionDelta stores on
+// partitions. It records the owning evaluator: raw subgraph costs depend on
+// the platform and tiling config too, so a partition migrating between
+// evaluators (e.g. an Options.Init seed from a search on different hardware)
+// must not reuse another evaluator's numbers — a foreign handle is treated
+// as dirty and recomputed here.
+type costHandle struct {
+	ev *Evaluator
+	c  *SubgraphCost
+}
+
+// membersFromKey unpacks a canonical member key back into its sorted member
+// ids — the key is the member list, so a cold-miss compute never needs to
+// re-scan the partition's assignment vector.
+func membersFromKey(key string) []int {
+	m := make([]int, len(key)/4)
+	for i := range m {
+		m[i] = int(uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3]))
+	}
+	return m
+}
+
+// partitionEval is the shared aggregation core of Partition and
+// PartitionDelta: costOf supplies subgraph si's raw cost, and the aggregates
+// (sums, maxes, infeasibility, prefetch pass) are accumulated in ascending
+// subgraph order so every caller produces bit-identical results, float
+// summation included.
+func (e *Evaluator) partitionEval(nsub int, mem hw.MemConfig, costOf func(si int) *SubgraphCost) *Result {
+	res := &Result{NumSubgraphs: nsub}
+	infeasible := make([]bool, nsub)
+	costs := make([]*SubgraphCost, nsub)
+	wgts := make([]int64, nsub)
+	for si := 0; si < nsub; si++ {
+		c := costOf(si)
 		costs[si] = c
 		ctr := e.Contribution(c, mem)
 		wgts[si] = ctr.WgtPerCore
@@ -435,7 +499,7 @@ func (e *Evaluator) Partition(p *partition.Partition, mem hw.MemConfig) *Result 
 		if mem.Kind == hw.SharedBuffer {
 			wgtCap = mem.GlobalBytes
 		}
-		for si := 0; si+1 < len(subs); si++ {
+		for si := 0; si+1 < nsub; si++ {
 			if len(costs[si].Members) <= 1 || len(costs[si+1].Members) <= 1 {
 				continue
 			}

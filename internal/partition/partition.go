@@ -10,6 +10,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"cocco/internal/graph"
@@ -24,6 +25,116 @@ type Partition struct {
 	g      *graph.Graph
 	assign []int // node id → subgraph id, Unassigned for inputs
 	count  int   // number of subgraphs
+
+	// keys and costs are per-subgraph evaluation caches: keys[s] is the
+	// interned MemberKey of subgraph s ("" until built), costs[s] an opaque
+	// cost handle owned by the evaluation layer (nil = dirty). Both are
+	// carried across TryModifyNode/TrySplit/TryMerge for subgraphs whose
+	// member set is unchanged, so the evaluator re-derives costs only for
+	// the subgraphs an operator actually touched. nil slices mean no cache.
+	//
+	// The caches make a Partition single-writer: fills must come from the
+	// goroutine that owns the partition (readers of a committed, shared
+	// partition must not trigger fills concurrently with other writers).
+	keys  []string
+	costs []any
+}
+
+// MemberKey packs a sorted member-id slice into the canonical subgraph cache
+// key, 4 bytes per id. Ids outside [0, 2^32) would alias another subgraph's
+// key, so they panic instead of silently corrupting cost caches. Callers must
+// pass ids in ascending order for the key to be canonical.
+func MemberKey(members []int) string {
+	b := make([]byte, 0, len(members)*4)
+	for _, id := range members {
+		if id < 0 || uint64(id) > math.MaxUint32 {
+			panic(fmt.Sprintf("partition: node id %d outside the 32-bit cache-key range", id))
+		}
+		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return string(b)
+}
+
+// SubgraphKey returns the interned MemberKey of subgraph s. Missing keys are
+// built for every key-less subgraph at once in a single assignment-vector
+// pass (a fresh partition needs all of them, a mutated one the touched few),
+// so key building is O(V) total rather than O(V) per subgraph. Repeated
+// calls are allocation-free.
+func (p *Partition) SubgraphKey(s int) string {
+	if p.keys == nil {
+		p.keys = make([]string, p.count)
+	}
+	if p.keys[s] == "" {
+		members := make([][]int, p.count)
+		for id, a := range p.assign {
+			if a >= 0 && p.keys[a] == "" {
+				members[a] = append(members[a], id)
+			}
+		}
+		for t, m := range members {
+			if m != nil {
+				p.keys[t] = MemberKey(m)
+			}
+		}
+	}
+	return p.keys[s]
+}
+
+// CostHandle returns the opaque evaluation handle of subgraph s, or nil if
+// the subgraph is dirty (membership changed since the handle was set, or it
+// was never evaluated).
+func (p *Partition) CostHandle(s int) any {
+	if p.costs == nil {
+		return nil
+	}
+	return p.costs[s]
+}
+
+// SetCostHandle attaches an evaluation handle to subgraph s. Ops carry the
+// handle to derived partitions whenever the member set is preserved, so its
+// value must be a pure function of the member set plus whatever context the
+// setting layer encodes inside the handle itself (the evaluator tags handles
+// with their owning evaluator for exactly this reason).
+func (p *Partition) SetCostHandle(s int, h any) {
+	if p.costs == nil {
+		p.costs = make([]any, p.count)
+	}
+	p.costs[s] = h
+}
+
+// carryFrom copies the key/cost caches from the parent partition p for every
+// subgraph whose member set is provably unchanged: ops pass the parent labels
+// they touched, and every other parent subgraph kept exactly its members
+// (repair only rewrites members of touched subgraphs, and normalize only
+// renumbers), so its new label is found through any member node.
+func (q *Partition) carryFrom(p *Partition, touched ...int) {
+	if p.keys == nil && p.costs == nil {
+		return
+	}
+	q.keys = make([]string, q.count)
+	q.costs = make([]any, q.count)
+	for id, a := range p.assign {
+		if a < 0 {
+			continue
+		}
+		skip := false
+		for _, t := range touched {
+			if a == t {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		n := q.assign[id]
+		if p.keys != nil {
+			q.keys[n] = p.keys[a]
+		}
+		if p.costs != nil {
+			q.costs[n] = p.costs[a]
+		}
+	}
 }
 
 // Singletons returns the partition with every compute node in its own
@@ -111,9 +222,18 @@ func (p *Partition) Of(id int) int { return p.assign[id] }
 // Assignment returns a copy of the raw assignment slice.
 func (p *Partition) Assignment() []int { return append([]int(nil), p.assign...) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The key/cost caches are copied into fresh
+// backing arrays (the interned keys and handles themselves are shared; they
+// are immutable), so the clone's owner can fill its caches independently.
 func (p *Partition) Clone() *Partition {
-	return &Partition{g: p.g, assign: append([]int(nil), p.assign...), count: p.count}
+	q := &Partition{g: p.g, assign: append([]int(nil), p.assign...), count: p.count}
+	if p.keys != nil {
+		q.keys = append([]string(nil), p.keys...)
+	}
+	if p.costs != nil {
+		q.costs = append([]any(nil), p.costs...)
+	}
+	return q
 }
 
 // Members returns the node ids of subgraph s in ascending order.
@@ -282,12 +402,18 @@ func (p *Partition) TryModifyNode(u, target int) (*Partition, error) {
 	if target < 0 || target > p.count {
 		return nil, fmt.Errorf("partition: target subgraph %d out of range", target)
 	}
+	src := p.assign[u]
 	q := p.Clone()
 	q.assign[u] = target
 	if target == p.count {
 		q.count++
 	}
-	return q.repair()
+	q, err := q.repair()
+	if err != nil {
+		return nil, err
+	}
+	q.carryFrom(p, src, target)
+	return q, nil
 }
 
 // TrySplit splits subgraph s into the given parts (a disjoint cover of its
@@ -322,7 +448,12 @@ func (p *Partition) TrySplit(s int, parts [][]int) (*Partition, error) {
 			q.assign[id] = label
 		}
 	}
-	return q.repair()
+	q, err := q.repair()
+	if err != nil {
+		return nil, err
+	}
+	q.carryFrom(p, s)
+	return q, nil
 }
 
 // TryMerge merges subgraphs a and b and returns the repaired result, or an
@@ -342,7 +473,12 @@ func (p *Partition) TryMerge(a, b int) (*Partition, error) {
 			q.assign[id] = a
 		}
 	}
-	return q.repair()
+	q, err := q.repair()
+	if err != nil {
+		return nil, err
+	}
+	q.carryFrom(p, a, b)
+	return q, nil
 }
 
 // repair makes the partition valid if possible: split disconnected
