@@ -343,6 +343,37 @@ func BenchmarkDeltaEval(b *testing.B) {
 	}
 }
 
+// BenchmarkColdEval measures the cold path of the cost cache: a fresh
+// evaluator per iteration scores a fixed seeded set of random partitions, so
+// (almost) every subgraph lookup is a miss and pays the full computeSubgraph
+// + tiling derivation. This is the workload that dominates real searches now
+// that the warm path (handles + delta re-scoring) is cheap. Reports evals/s
+// (partition evaluations per second) and allocs/op; cmd/benchreport runs the
+// same workload and records the numbers in BENCH_coldpath.json.
+func BenchmarkColdEval(b *testing.B) {
+	const nparts = 8
+	mem := hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: 1024 * hw.KiB, WeightBytes: 1152 * hw.KiB}
+	for _, model := range models.Names() {
+		b.Run(model, func(b *testing.B) {
+			g := models.MustBuild(model)
+			rng := rand.New(rand.NewSource(3))
+			parts := make([]*partition.Partition, nparts)
+			for i := range parts {
+				parts[i] = core.RandomPartition(g, rng, 0.3)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+				for _, p := range parts {
+					ev.Partition(p, mem)
+				}
+			}
+			b.ReportMetric(float64(nparts)*float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+		})
+	}
+}
+
 // BenchmarkEnumeration measures the exact downset DP on ResNet50.
 func BenchmarkEnumeration(b *testing.B) {
 	ev := eval.MustNew(models.MustBuild("resnet50"), hw.DefaultPlatform(), tiling.DefaultConfig())

@@ -1,0 +1,270 @@
+// Command benchreport runs the repo's performance-tracking workloads through
+// testing.Benchmark and records the results as JSON, so the perf trajectory
+// of the evaluation engine lives in version control instead of scrollback.
+//
+//	go run ./cmd/benchreport -o BENCH_coldpath.json
+//
+// Three workloads are measured:
+//
+//   - cold: the cold-path workload of BenchmarkColdEval — a fresh evaluator
+//     scoring a fixed seeded set of random partitions per model, so every
+//     subgraph pays the full computeSubgraph + tiling derivation.
+//   - delta: the warm mutation-dominated workload of BenchmarkDeltaEval —
+//     full-recompute vs carried-handle evaluation of single-mutation
+//     offspring.
+//   - ga: the end-to-end seeded GA of BenchmarkGAParallel at increasing
+//     worker counts (delta engine).
+//
+// Cold results are compared against the recorded pre-overhaul baseline (the
+// PR-2 tree, commit e055771, measured on the reference dev box) so the
+// speedup of the dense-indexing overhaul is part of the report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/models"
+	"cocco/internal/partition"
+	"cocco/internal/tiling"
+)
+
+// coldBaseline is the pre-overhaul BenchmarkColdEval result per model
+// (evals/s, allocs/op), recorded before the dense-indexing rework so every
+// future report shows the trajectory against a fixed reference point.
+var coldBaseline = map[string][2]float64{
+	"densenet121": {1130, 49052},
+	"googlenet":   {5560, 11463},
+	"gpt":         {3731, 17627},
+	"mobilenetv2": {8890, 8029},
+	"nasnet":      {1534, 39368},
+	"randwire-a":  {3394, 17405},
+	"randwire-b":  {2207, 26716},
+	"resnet152":   {2556, 27650},
+	"resnet50":    {7445, 9546},
+	"transformer": {8152, 8477},
+	"unet":        {20303, 3841},
+	"vgg16":       {33841, 2528},
+}
+
+type coldRow struct {
+	Model       string  `json:"model"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// Trajectory vs the recorded pre-overhaul baseline (0 if unknown model).
+	BaselineEvalsPerSec float64 `json:"baseline_evals_per_sec,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+	AllocReduction      float64 `json:"alloc_reduction,omitempty"`
+}
+
+type deltaRow struct {
+	Engine      string  `json:"engine"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type gaRow struct {
+	Workers     int     `json:"workers"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	Bench    string     `json:"bench"`
+	Go       string     `json:"go"`
+	GOOS     string     `json:"goos"`
+	GOARCH   string     `json:"goarch"`
+	NumCPU   int        `json:"num_cpu"`
+	Baseline string     `json:"baseline"`
+	Cold     []coldRow  `json:"cold_eval"`
+	Delta    []deltaRow `json:"delta_eval"`
+	GA       []gaRow    `json:"ga_parallel"`
+}
+
+func defaultMem() hw.MemConfig {
+	return hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: 1024 * hw.KiB, WeightBytes: 1152 * hw.KiB}
+}
+
+// coldWorkload mirrors BenchmarkColdEval: nparts seeded random partitions
+// scored by a fresh evaluator per iteration.
+func coldWorkload(model string, nparts int) (coldRow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return coldRow{}, err
+	}
+	rng := rand.New(rand.NewSource(3))
+	parts := make([]*partition.Partition, nparts)
+	for i := range parts {
+		parts[i] = core.RandomPartition(g, rng, 0.3)
+	}
+	mem := defaultMem()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+			for _, p := range parts {
+				ev.Partition(p, mem)
+			}
+		}
+	})
+	row := coldRow{
+		Model:       model,
+		EvalsPerSec: float64(nparts) * float64(res.N) / res.T.Seconds(),
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+	}
+	if base, ok := coldBaseline[model]; ok {
+		row.BaselineEvalsPerSec, row.BaselineAllocsPerOp = base[0], base[1]
+		row.Speedup = row.EvalsPerSec / base[0]
+		if row.AllocsPerOp > 0 {
+			row.AllocReduction = base[1] / row.AllocsPerOp
+		}
+	}
+	return row, nil
+}
+
+// deltaWorkload mirrors BenchmarkDeltaEval: a pool of single-mutation
+// children of an evaluated base partition, re-scored through the full and
+// delta engines against a warm cost cache.
+func deltaWorkload() ([]deltaRow, error) {
+	g, err := models.Build("resnet50")
+	if err != nil {
+		return nil, err
+	}
+	mem := defaultMem()
+	ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+	base := core.RandomPartition(g, rng, 0.3)
+	ev.PartitionDelta(base, mem)
+	pool := make([]*partition.Partition, 64)
+	for i := range pool {
+		pool[i] = core.ApplyRandomMutation(g, rng, base)
+		ev.Partition(pool[i], mem)
+	}
+	var out []deltaRow
+	for _, mode := range []string{"full", "delta"} {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := pool[i%len(pool)].Clone()
+				if mode == "full" {
+					ev.Partition(q, mem)
+				} else {
+					ev.PartitionDelta(q, mem)
+				}
+			}
+		})
+		out = append(out, deltaRow{
+			Engine:      mode,
+			EvalsPerSec: float64(res.N) / res.T.Seconds(),
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+		})
+	}
+	return out, nil
+}
+
+// gaWorkload mirrors BenchmarkGAParallel's delta engine: a seeded
+// fixed-sample GA run per worker count, fresh evaluator per iteration.
+func gaWorkload(samples int) ([]gaRow, error) {
+	g, err := models.Build("resnet50")
+	if err != nil {
+		return nil, err
+	}
+	mem := defaultMem()
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	var out []gaRow
+	for _, workers := range counts {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+				if _, _, err := core.Run(ev, core.Options{
+					Seed: 7, Workers: workers, Population: 50, MaxSamples: samples,
+					Objective: eval.Objective{Metric: eval.MetricEMA},
+					Mem:       core.MemSearch{Fixed: mem},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, gaRow{
+			Workers:     workers,
+			EvalsPerSec: float64(samples) * float64(res.N) / res.T.Seconds(),
+			NsPerOp:     float64(res.NsPerOp()),
+		})
+	}
+	return out, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_coldpath.json", "output path")
+	quick := flag.Bool("quick", false, "reduced budgets for CI smoke runs")
+	flag.Parse()
+
+	nparts, gaSamples := 8, 1000
+	if *quick {
+		nparts, gaSamples = 2, 200
+	}
+
+	rep := report{
+		Bench:    "coldpath",
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+		Baseline: "pre-dense-indexing tree (PR-2, commit e055771)",
+	}
+	for _, model := range models.Names() {
+		row, err := coldWorkload(model, nparts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s: %v\n", model, err)
+			os.Exit(1)
+		}
+		fmt.Printf("cold  %-12s %10.0f evals/s  %8.0f allocs/op  (%.1fx evals/s, %.1fx fewer allocs)\n",
+			row.Model, row.EvalsPerSec, row.AllocsPerOp, row.Speedup, row.AllocReduction)
+		rep.Cold = append(rep.Cold, row)
+	}
+	var err error
+	if rep.Delta, err = deltaWorkload(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: delta: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range rep.Delta {
+		fmt.Printf("delta %-12s %10.0f evals/s  %8.0f allocs/op\n", d.Engine, d.EvalsPerSec, d.AllocsPerOp)
+	}
+	if rep.GA, err = gaWorkload(gaSamples); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: ga: %v\n", err)
+		os.Exit(1)
+	}
+	for _, g := range rep.GA {
+		fmt.Printf("ga    workers=%-5d %10.0f evals/s\n", g.Workers, g.EvalsPerSec)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

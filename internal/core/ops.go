@@ -21,10 +21,10 @@ func RandomPartition(g *graph.Graph, rng *rand.Rand, pNew float64) *partition.Pa
 		assign[i] = partition.Unassigned
 	}
 	next := 0
-	for _, v := range g.ComputeNodes() {
+	for _, v := range g.ComputeIDs() {
 		// Producers already assigned (inputs stay Unassigned).
 		maxP := -1
-		for _, u := range g.Pred(v) {
+		for _, u := range g.PredIDs(v) {
 			if assign[u] > maxP {
 				maxP = assign[u]
 			}
@@ -34,18 +34,14 @@ func RandomPartition(g *graph.Graph, rng *rand.Rand, pNew float64) *partition.Pa
 			next++
 			continue
 		}
-		// Join one of the producers' subgraphs with the maximal id: this
-		// keeps the quotient edges pointing forward (acyclic) and attaches
-		// v to a member, preserving connectivity.
-		var cands []int
-		seen := map[int]bool{}
-		for _, u := range g.Pred(v) {
-			if assign[u] == maxP && !seen[assign[u]] {
-				seen[assign[u]] = true
-				cands = append(cands, assign[u])
-			}
-		}
-		assign[v] = cands[rng.Intn(len(cands))]
+		// Join the producers' subgraph with the maximal id: this keeps the
+		// quotient edges pointing forward (acyclic) and attaches v to a
+		// member, preserving connectivity. The historical code drew uniformly
+		// over the deduplicated producer subgraphs equal to maxP — always the
+		// singleton {maxP} — so the draw is kept (Intn(1) consumes one RNG
+		// value) to leave every seeded search trajectory unchanged.
+		rng.Intn(1)
+		assign[v] = maxP
 	}
 	p, err := partition.From(g, assign)
 	if err != nil {
@@ -138,7 +134,7 @@ func crossoverPartition(g *graph.Graph, rng *rand.Rand, dad, mom *partition.Part
 	decided := make([]bool, g.Len())
 	next := 0
 
-	for _, v := range g.ComputeNodes() {
+	for _, v := range g.ComputeIDs() {
 		if decided[v] {
 			continue
 		}
@@ -194,18 +190,24 @@ func crossoverMem(ms MemSearch, a, b hw.MemConfig) hw.MemConfig {
 // neighbors or to a fresh subgraph (Figure 9c). Returns the input partition
 // unchanged if no valid move is found within a few attempts.
 func mutateModifyNode(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partition.Partition {
-	nodes := g.ComputeNodes()
+	nodes := g.ComputeIDs()
 	for attempt := 0; attempt < 4; attempt++ {
 		u := nodes[rng.Intn(len(nodes))]
 		// Candidate targets: subgraphs of u's neighbors, plus a new one.
 		seen := map[int]bool{p.Of(u): true}
 		var targets []int
-		for _, n := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
+		addTarget := func(n int) {
 			s := p.Of(n)
 			if s != partition.Unassigned && !seen[s] {
 				seen[s] = true
 				targets = append(targets, s)
 			}
+		}
+		for _, n := range g.PredIDs(u) {
+			addTarget(int(n))
+		}
+		for _, n := range g.SuccIDs(u) {
+			addTarget(int(n))
 		}
 		targets = append(targets, p.NumSubgraphs()) // fresh subgraph
 		t := targets[rng.Intn(len(targets))]
@@ -289,13 +291,26 @@ func splitRandom(g *graph.Graph, rng *rand.Rand, p *partition.Partition, s int) 
 		u := frontier[i]
 		frontier[i] = frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
-		for _, v := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
+		// Preds then succs, matching the historical combined-slice order so
+		// seeded region growth is unchanged.
+		for _, p := range g.PredIDs(u) {
+			v := int(p)
 			if inSub[v] && !region[v] {
 				region[v] = true
 				frontier = append(frontier, v)
 				if len(region) >= target {
 					break
 				}
+			}
+		}
+		for _, s := range g.SuccIDs(u) {
+			v := int(s)
+			if len(region) >= target {
+				break
+			}
+			if inSub[v] && !region[v] {
+				region[v] = true
+				frontier = append(frontier, v)
 			}
 		}
 	}
@@ -328,12 +343,18 @@ func multiNodeSubgraphs(p *partition.Partition) []int {
 // edge, in ascending order.
 func quotientNeighbors(g *graph.Graph, p *partition.Partition, s int) []int {
 	seen := map[int]bool{}
+	mark := func(v int) {
+		t := p.Of(v)
+		if t != partition.Unassigned && t != s {
+			seen[t] = true
+		}
+	}
 	for _, u := range p.Members(s) {
-		for _, v := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
-			t := p.Of(v)
-			if t != partition.Unassigned && t != s {
-				seen[t] = true
-			}
+		for _, v := range g.PredIDs(u) {
+			mark(int(v))
+		}
+		for _, v := range g.SuccIDs(u) {
+			mark(int(v))
 		}
 	}
 	out := make([]int, 0, len(seen))

@@ -4,17 +4,19 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+
+	"cocco/internal/partition"
 )
 
 func TestMemberKeyDistinct(t *testing.T) {
 	// Ids that collided under the old 3-byte packing (differ only above
 	// bit 23) must map to distinct keys now.
-	a := memberKey([]int{1 << 24})
-	b := memberKey([]int{0})
+	a := partition.MemberKey([]int{1 << 24})
+	b := partition.MemberKey([]int{0})
 	if a == b {
 		t.Error("keys collide across the 2^24 boundary")
 	}
-	if memberKey([]int{1, 2}) == memberKey([]int{1, 3}) {
+	if partition.MemberKey([]int{1, 2}) == partition.MemberKey([]int{1, 3}) {
 		t.Error("distinct member sets share a key")
 	}
 }
@@ -26,7 +28,7 @@ func TestMemberKeyGuard(t *testing.T) {
 				t.Errorf("%s: memberKey did not panic", name)
 			}
 		}()
-		memberKey(ids)
+		partition.MemberKey(ids)
 	}
 	mustPanic("negative id", []int{-1})
 	if strconv.IntSize == 64 {

@@ -11,6 +11,7 @@
 package eval
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -83,16 +84,124 @@ type SubgraphCost struct {
 // EMABytes is the subgraph's external traffic for one sample.
 func (c *SubgraphCost) EMABytes() int64 { return c.WeightBytes + c.InBytes + c.OutBytes }
 
-// cacheShards is the number of independently locked cost-cache segments.
-// The parallel GA hits the cache from every worker on every sample, so a
-// single mutex serializes the whole search; 64 shards keep contention
+// shardBits/cacheShards fix the number of independently locked cost-cache
+// segments. The parallel GA hits the cache from every worker on every sample,
+// so a single mutex serializes the whole search; 64 shards keep contention
 // negligible at any realistic core count for a few KiB of fixed overhead.
-const cacheShards = 64
+// The shard is chosen by the TOP bits of the key hash; the open-addressed
+// probe inside a shard uses the low bits, so the two never correlate.
+const (
+	shardBits   = 6
+	cacheShards = 1 << shardBits
+)
 
-// cacheShard is one independently locked segment of the cost cache.
+// cacheEntry is one memoized subgraph cost. The key bytes live in the
+// shard's append-only arena (off/klen), so an entry is 24 bytes + pointer
+// with no per-entry string header, and the stored 64-bit hash lets probes
+// skip full key comparisons on non-matches.
+type cacheEntry struct {
+	hash uint64
+	off  uint32
+	klen uint32
+	c    *SubgraphCost
+}
+
+// cacheShard is one independently locked segment of the cost cache: an
+// open-addressed slot table (linear probing, power-of-two sized, 0 = empty,
+// else 1+index into entries) over an append-only entry array and key arena.
+// Entries are never deleted or moved, so *SubgraphCost pointers handed out
+// stay stable forever — the invariant delta handles rely on.
 type cacheShard struct {
-	mu    sync.Mutex
-	cache map[string]*SubgraphCost
+	mu      sync.Mutex
+	slots   []int32
+	entries []cacheEntry
+	arena   []byte
+}
+
+// lookup returns the cost stored under (h, key), or nil. Caller holds mu.
+func (s *cacheShard) lookup(h uint64, key string) *SubgraphCost {
+	if len(s.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		ei := s.slots[i]
+		if ei == 0 {
+			return nil
+		}
+		e := &s.entries[ei-1]
+		// string([]byte) == string compiles to an allocation-free compare.
+		if e.hash == h && e.klen == uint32(len(key)) &&
+			string(s.arena[e.off:e.off+e.klen]) == key {
+			return e.c
+		}
+	}
+}
+
+// lookupBytes is lookup for a key held in a scratch byte buffer, so warm
+// Subgraph calls never materialize a key string. Kept as a hand-expanded
+// twin of lookup (methods cannot take the ~string|~[]byte type parameter
+// that would merge them); any probe-loop change must land in both.
+func (s *cacheShard) lookupBytes(h uint64, key []byte) *SubgraphCost {
+	if len(s.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		ei := s.slots[i]
+		if ei == 0 {
+			return nil
+		}
+		e := &s.entries[ei-1]
+		if e.hash == h && e.klen == uint32(len(key)) &&
+			bytes.Equal(s.arena[e.off:e.off+e.klen], key) {
+			return e.c
+		}
+	}
+}
+
+// insert stores c under (h, key), which must not be present. Caller holds mu.
+func (s *cacheShard) insert(h uint64, key string, c *SubgraphCost) {
+	off := len(s.arena)
+	s.arena = append(s.arena, key...)
+	s.place(h, uint32(off), uint32(len(key)), c)
+}
+
+// insertBytes is insert for a key held in a scratch buffer — the bytes go
+// straight into the arena, so the cold path never materializes a key string.
+func (s *cacheShard) insertBytes(h uint64, key []byte, c *SubgraphCost) {
+	off := len(s.arena)
+	s.arena = append(s.arena, key...)
+	s.place(h, uint32(off), uint32(len(key)), c)
+}
+
+// place records the entry whose key bytes were just appended to the arena at
+// off, growing the slot table at load factor 3/4. Caller holds mu.
+func (s *cacheShard) place(h uint64, off, klen uint32, c *SubgraphCost) {
+	if len(s.slots) == 0 {
+		s.slots = make([]int32, 64)
+	}
+	if (len(s.entries)+1)*4 > len(s.slots)*3 {
+		grown := make([]int32, len(s.slots)*2)
+		mask := uint64(len(grown) - 1)
+		for ei := range s.entries {
+			for i := s.entries[ei].hash & mask; ; i = (i + 1) & mask {
+				if grown[i] == 0 {
+					grown[i] = int32(ei + 1)
+					break
+				}
+			}
+		}
+		s.slots = grown
+	}
+	s.entries = append(s.entries, cacheEntry{hash: h, off: off, klen: klen, c: c})
+	mask := uint64(len(s.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		if s.slots[i] == 0 {
+			s.slots[i] = int32(len(s.entries))
+			return
+		}
+	}
 }
 
 // Evaluator evaluates partitions of one graph on one platform.
@@ -102,12 +211,38 @@ type Evaluator struct {
 	g        *graph.Graph
 	platform hw.Platform
 	tcfg     tiling.Config
+	tcfgErr  error // tiling config rejected at New; every subgraph fails
 	prefetch bool
+
+	// Immutable per-node tables, indexed by node id and precomputed once in
+	// New: subgraph costing is a pure sum of table entries over members, so
+	// the cold path never recomputes a node-level quantity. cycles is the
+	// (subgraph-independent) mapper.NodeCycles result; rep the kernel-overlap
+	// replication factor ceil(F/s) per dimension of the GLB traffic model.
+	weightBytes []int64
+	outBytes    []int64
+	macs        []int64
+	cycles      []int64
+	rep         []int64
+
+	// scratch pools per-goroutine evalScratch state (membership marks, the
+	// tiling Deriver, and the member-key decode buffer), making the whole
+	// cold path allocation-free apart from the SubgraphCost it produces.
+	scratch sync.Pool
 
 	shards     [cacheShards]cacheShard
 	hits       atomic.Int64
 	calls      atomic.Int64
 	deltaReuse atomic.Int64
+}
+
+// evalScratch is the reusable per-goroutine state of one cold evaluation.
+type evalScratch struct {
+	inSet   *graph.Marks    // subgraph membership
+	seenExt *graph.Marks    // external producers already charged
+	der     *tiling.Deriver // nil when the tiling config is invalid
+	members []int           // sorted-members / member-key decode buffer
+	keyBuf  []byte          // member-key build buffer
 }
 
 // EnablePrefetchCheck makes feasibility account for the weight prefetch of
@@ -118,14 +253,53 @@ type Evaluator struct {
 // benchmarks quantify the difference. Call before the first evaluation.
 func (e *Evaluator) EnablePrefetchCheck() { e.prefetch = true }
 
-// New returns an Evaluator for g on the given platform.
+// New returns an Evaluator for g on the given platform, precomputing the
+// per-node cost tables (weights, output bytes, MACs, best-mapping compute
+// cycles, GLB replication factors) the subgraph costing sums over.
 func New(g *graph.Graph, p hw.Platform, tcfg tiling.Config) (*Evaluator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	e := &Evaluator{g: g, platform: p, tcfg: tcfg}
-	for i := range e.shards {
-		e.shards[i].cache = map[string]*SubgraphCost{}
+	der, derr := tiling.NewDeriver(g, tcfg)
+	if derr != nil {
+		// Match the pre-table behavior: an invalid tiling config surfaces as
+		// a per-subgraph derivation error, not a constructor failure.
+		e.tcfgErr = derr
+	}
+	n := g.Len()
+	e.weightBytes = make([]int64, n)
+	e.outBytes = make([]int64, n)
+	e.macs = make([]int64, n)
+	e.cycles = make([]int64, n)
+	e.rep = make([]int64, n)
+	for id := 0; id < n; id++ {
+		nd := g.Node(id)
+		e.weightBytes[id] = nd.WeightBytes()
+		e.outBytes[id] = nd.OutBytes()
+		e.macs[id] = nd.MACs()
+		e.cycles[id] = mapper.NodeCycles(p.Core, nd)
+		e.rep[id] = int64(ceilDiv(nd.KernelH, nd.StrideH)) * int64(ceilDiv(nd.KernelW, nd.StrideW))
+	}
+	e.scratch.New = func() any {
+		sc := &evalScratch{
+			inSet:   graph.NewMarks(n),
+			seenExt: graph.NewMarks(n),
+			members: make([]int, 0, n),
+		}
+		if e.tcfgErr == nil {
+			sc.der, _ = tiling.NewDeriver(g, tcfg)
+		}
+		return sc
+	}
+	if derr == nil {
+		// Seed the pool with the deriver already built for validation.
+		e.scratch.Put(&evalScratch{
+			inSet:   graph.NewMarks(n),
+			seenExt: graph.NewMarks(n),
+			members: make([]int, 0, n),
+			der:     der,
+		})
 	}
 	return e, nil
 }
@@ -162,106 +336,159 @@ func (e *Evaluator) DeltaStats() (reused int64) { return e.deltaReuse.Load() }
 // CacheEntries reports the number of distinct subgraphs computed. Unlike
 // the hit counter it is fully deterministic under concurrency: the set of
 // evaluated subgraphs depends only on the search trajectory, not on which
-// goroutine won a cold-miss race.
+// goroutine won a cold-miss race (losers discard their duplicate, so an
+// entry is inserted exactly once per distinct key).
 func (e *Evaluator) CacheEntries() int64 {
 	var n int64
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.mu.Lock()
-		n += int64(len(s.cache))
+		n += int64(len(s.entries))
 		s.mu.Unlock()
 	}
 	return n
 }
 
-// memberKey packs the sorted member ids into a compact cache key, 4 bytes
-// per id, with a [0, 2^32) guard. The canonical definition lives in
-// partition.MemberKey so partitions can intern the same keys per subgraph
-// and hand them to the evaluator without rebuilding the string per lookup.
-func memberKey(members []int) string { return partition.MemberKey(members) }
-
-// shardOf maps a cache key to its shard by FNV-1a hash.
-func shardOf(key string) int {
-	h := uint32(2166136261)
+// hashKey is 64-bit FNV-1a over the canonical member key — computed once per
+// lookup; the top bits pick the shard and the full hash drives the
+// open-addressed probe, so neither the shard choice nor the table walks the
+// key again (only a final confirming compare on a hash match does).
+func hashKey(key string) uint64 {
+	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
+		h ^= uint64(key[i])
+		h *= 1099511628211
 	}
-	return int(h % cacheShards)
+	return h
+}
+
+// hashKeyBytes is hashKey over a scratch byte buffer.
+func hashKeyBytes(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Subgraph computes (or returns the memoized) raw cost of the subgraph with
-// the given member ids. Members need not be sorted. Two goroutines missing
-// on the same key may both compute it; the results are identical and the
-// duplicate write is harmless, so no cross-shard coordination is needed.
+// the given member ids. Members need not be sorted. The sort and key build
+// happen in pooled scratch, so a warm call performs no allocations.
 func (e *Evaluator) Subgraph(members []int) *SubgraphCost {
-	m := append([]int(nil), members...)
-	sort.Ints(m)
-	return e.subgraphByKey(memberKey(m), func() []int { return m })
+	sc := e.scratch.Get().(*evalScratch)
+	sc.members = append(sc.members[:0], members...)
+	sort.Ints(sc.members)
+	sc.keyBuf = partition.AppendMemberKey(sc.keyBuf[:0], sc.members)
+
+	h := hashKeyBytes(sc.keyBuf)
+	s := &e.shards[h>>(64-shardBits)]
+	e.calls.Add(1)
+	s.mu.Lock()
+	if c := s.lookupBytes(h, sc.keyBuf); c != nil {
+		s.mu.Unlock()
+		e.scratch.Put(sc)
+		e.hits.Add(1)
+		return c
+	}
+	s.mu.Unlock()
+
+	c := e.computeSubgraph(sc, sc.members)
+
+	s.mu.Lock()
+	if first := s.lookupBytes(h, sc.keyBuf); first != nil {
+		s.mu.Unlock()
+		e.scratch.Put(sc)
+		return first
+	}
+	s.insertBytes(h, sc.keyBuf, c)
+	s.mu.Unlock()
+	e.scratch.Put(sc)
+	return c
 }
 
-// subgraphByKey looks the cost up by a pre-built canonical key; members is
-// called (once, on a cold miss) to obtain the sorted member ids to compute
-// with. Callers holding an interned key skip the per-lookup copy, sort, and
-// string build of Subgraph.
-func (e *Evaluator) subgraphByKey(key string, members func() []int) *SubgraphCost {
-	s := &e.shards[shardOf(key)]
+// subgraphByKey looks the cost up by its canonical member key, computing and
+// inserting it on a miss. Two goroutines missing on the same cold key may
+// both compute it; the insert re-checks under the write lock and keeps the
+// FIRST inserted *SubgraphCost, discarding the duplicate, so the pointer
+// identity that delta handles (and entry stability) rely on holds even under
+// a cold-miss race.
+func (e *Evaluator) subgraphByKey(key string) *SubgraphCost {
+	h := hashKey(key)
+	s := &e.shards[h>>(64-shardBits)]
 
 	e.calls.Add(1)
 	s.mu.Lock()
-	if c, ok := s.cache[key]; ok {
+	if c := s.lookup(h, key); c != nil {
 		s.mu.Unlock()
 		e.hits.Add(1)
 		return c
 	}
 	s.mu.Unlock()
 
-	c := e.computeSubgraph(members())
+	sc := e.scratch.Get().(*evalScratch)
+	sc.members = partition.AppendKeyMembers(sc.members[:0], key)
+	c := e.computeSubgraph(sc, sc.members)
+	e.scratch.Put(sc)
 
 	s.mu.Lock()
-	s.cache[key] = c
+	if first := s.lookup(h, key); first != nil {
+		s.mu.Unlock()
+		return first
+	}
+	s.insert(h, key, c)
 	s.mu.Unlock()
 	return c
 }
 
-func (e *Evaluator) computeSubgraph(members []int) *SubgraphCost {
-	c := &SubgraphCost{Members: members}
-	inSet := make(map[int]bool, len(members))
-	for _, id := range members {
-		inSet[id] = true
-	}
+// computeSubgraph prices one subgraph as table arithmetic over the member
+// ids: every node-level quantity was precomputed in New, membership tests
+// are epoch-stamped probes, and the tiling footprint comes from the pooled
+// scratch Deriver — the only allocations are the returned SubgraphCost and
+// its owned member slice. members is borrowed (scratch); it is copied.
+func (e *Evaluator) computeSubgraph(sc *evalScratch, members []int) *SubgraphCost {
+	c := &SubgraphCost{Members: append([]int(nil), members...)}
 
-	scheme, err := tiling.Derive(e.g, members, e.tcfg)
-	if err != nil {
-		c.Err = fmt.Errorf("eval: subgraph %v: %w", members, err)
+	if e.tcfgErr != nil {
+		c.Err = fmt.Errorf("eval: subgraph %v: %w", c.Members, e.tcfgErr)
 		return c
 	}
-	c.ActFootprint = scheme.TotalFootprintBytes(e.g)
+	fp, err := sc.der.TotalFootprint(c.Members)
+	if err != nil {
+		c.Err = fmt.Errorf("eval: subgraph %v: %w", c.Members, err)
+		return c
+	}
+	c.ActFootprint = fp
 
-	seenExt := map[int]bool{}
-	for _, id := range members {
-		n := e.g.Node(id)
-		c.WeightBytes += n.WeightBytes()
-		c.MACs += n.MACs()
-		c.ComputeCycles += mapper.NodeCycles(e.platform.Core, n)
+	sc.inSet.Reset()
+	for _, id := range c.Members {
+		sc.inSet.Set(id)
+	}
+	sc.seenExt.Reset()
+	for _, id := range c.Members {
+		c.WeightBytes += e.weightBytes[id]
+		c.MACs += e.macs[id]
+		c.ComputeCycles += e.cycles[id]
 
 		// Inputs: external producers, each counted once.
-		for _, p := range e.g.Pred(id) {
-			if !inSet[p] && !seenExt[p] {
-				seenExt[p] = true
-				c.InBytes += e.g.Node(p).OutBytes()
+		for _, p := range e.g.PredIDs(id) {
+			pi := int(p)
+			if !sc.inSet.Has(pi) && !sc.seenExt.Has(pi) {
+				sc.seenExt.Set(pi)
+				c.InBytes += e.outBytes[pi]
 			}
 		}
 		// Outputs: consumed outside the subgraph or a model output.
-		out := len(e.g.Succ(id)) == 0
-		for _, s := range e.g.Succ(id) {
-			if !inSet[s] {
+		succ := e.g.SuccIDs(id)
+		out := len(succ) == 0
+		for _, s := range succ {
+			if !sc.inSet.Has(int(s)) {
 				out = true
 				break
 			}
 		}
 		if out {
-			c.OutBytes += n.OutBytes()
+			c.OutBytes += e.outBytes[id]
 		}
 	}
 
@@ -269,12 +496,11 @@ func (e *Evaluator) computeSubgraph(members []int) *SubgraphCost {
 	// buffer is written once; every consumer reads its producer's tensor
 	// with the window-overlap replication factor ceil(F/s) per dimension.
 	c.GLBAccessBytes = c.InBytes
-	for _, id := range members {
-		n := e.g.Node(id)
-		c.GLBAccessBytes += n.OutBytes() // write of produced tile stream
-		rep := int64(ceilDiv(n.KernelH, n.StrideH)) * int64(ceilDiv(n.KernelW, n.StrideW))
-		for _, p := range e.g.Pred(id) {
-			c.GLBAccessBytes += e.g.Node(p).OutBytes() * rep
+	for _, id := range c.Members {
+		c.GLBAccessBytes += e.outBytes[id] // write of produced tile stream
+		rep := e.rep[id]
+		for _, p := range e.g.PredIDs(id) {
+			c.GLBAccessBytes += e.outBytes[int(p)] * rep
 		}
 	}
 	return c
@@ -433,8 +659,7 @@ func (e *Evaluator) PartitionDelta(p *partition.Partition, mem hw.MemConfig) *Re
 			e.deltaReuse.Add(1)
 			return h.c
 		}
-		key := p.SubgraphKey(si)
-		c := e.subgraphByKey(key, func() []int { return membersFromKey(key) })
+		c := e.subgraphByKey(p.SubgraphKey(si))
 		p.SetCostHandle(si, costHandle{ev: e, c: c})
 		return c
 	})
@@ -449,18 +674,6 @@ func (e *Evaluator) PartitionDelta(p *partition.Partition, mem hw.MemConfig) *Re
 type costHandle struct {
 	ev *Evaluator
 	c  *SubgraphCost
-}
-
-// membersFromKey unpacks a canonical member key back into its sorted member
-// ids — the key is the member list, so a cold-miss compute never needs to
-// re-scan the partition's assignment vector.
-func membersFromKey(key string) []int {
-	m := make([]int, len(key)/4)
-	for i := range m {
-		m[i] = int(uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
-			uint32(key[4*i+2])<<8 | uint32(key[4*i+3]))
-	}
-	return m
 }
 
 // partitionEval is the shared aggregation core of Partition and

@@ -143,6 +143,19 @@ type Graph struct {
 	pred  [][]int // pred[v] = ids of producers of v, ascending
 	topo  []int   // a fixed topological order of node ids
 	rank  []int   // rank[id] = position of id in topo
+
+	// CSR adjacency view: the per-node pred/succ lists flattened into two
+	// contiguous []int32 arrays with offset tables, so hot paths (tiling
+	// derivation, subgraph costing) walk cache-dense memory instead of
+	// chasing per-node slice headers. Contents mirror succ/pred exactly.
+	succCSR, predCSR []int32
+	succOff, predOff []int32
+
+	// computeIDs caches ComputeNodes' result, and denseIdx maps a node id to
+	// its position in computeIDs (-1 for inputs) — the dense compute-node
+	// indexing used by per-node cost tables.
+	computeIDs []int
+	denseIdx   []int32
 }
 
 // Len returns the number of nodes, including OpInput nodes.
@@ -163,6 +176,26 @@ func (g *Graph) Succ(u int) []int { return g.succ[u] }
 // Callers must not mutate the returned slice.
 func (g *Graph) Pred(v int) []int { return g.pred[v] }
 
+// SuccIDs returns the consumer ids of node u as a view into the graph's
+// contiguous CSR array, ascending. Identical contents to Succ; preferred on
+// hot paths. Callers must not mutate the returned slice.
+func (g *Graph) SuccIDs(u int) []int32 { return g.succCSR[g.succOff[u]:g.succOff[u+1]] }
+
+// PredIDs returns the producer ids of node v as a view into the graph's
+// contiguous CSR array, ascending. Identical contents to Pred; preferred on
+// hot paths. Callers must not mutate the returned slice.
+func (g *Graph) PredIDs(v int) []int32 { return g.predCSR[g.predOff[v]:g.predOff[v+1]] }
+
+// ComputeIDs returns the cached ids of all non-input nodes in topological
+// order — the same contents as ComputeNodes without the per-call allocation.
+// Callers must not mutate the returned slice.
+func (g *Graph) ComputeIDs() []int { return g.computeIDs }
+
+// DenseIndex returns node id's position among the compute nodes (its index
+// in ComputeIDs), or -1 for OpInput nodes. Per-node tables indexed densely
+// over compute nodes use this to translate ids.
+func (g *Graph) DenseIndex(id int) int { return int(g.denseIdx[id]) }
+
 // Topo returns a fixed topological order of node ids. Callers must not
 // mutate the returned slice.
 func (g *Graph) Topo() []int { return g.topo }
@@ -180,15 +213,10 @@ func (g *Graph) Edges() int {
 }
 
 // ComputeNodes returns the ids of all non-input nodes in topological order.
-// These are the nodes a partition assigns to subgraphs.
+// These are the nodes a partition assigns to subgraphs. The returned slice is
+// a fresh copy the caller may mutate; hot paths should use ComputeIDs.
 func (g *Graph) ComputeNodes() []int {
-	out := make([]int, 0, g.Len())
-	for _, id := range g.topo {
-		if g.nodes[id].Kind != OpInput {
-			out = append(out, id)
-		}
-	}
-	return out
+	return append([]int(nil), g.computeIDs...)
 }
 
 // Outputs returns the ids of nodes with no consumers (model outputs).
@@ -624,7 +652,41 @@ func (b *Builder) Finalize() (*Graph, error) {
 		sort.Ints(pp)
 		_ = v
 	}
+	g.buildIndexes()
 	return g, nil
+}
+
+// buildIndexes derives the CSR adjacency arrays and the dense compute-node
+// index from the finalized per-node slices.
+func (g *Graph) buildIndexes() {
+	n := len(g.nodes)
+	edges := g.Edges()
+	g.succCSR = make([]int32, 0, edges)
+	g.predCSR = make([]int32, 0, edges)
+	g.succOff = make([]int32, n+1)
+	g.predOff = make([]int32, n+1)
+	for id := 0; id < n; id++ {
+		g.succOff[id] = int32(len(g.succCSR))
+		for _, s := range g.succ[id] {
+			g.succCSR = append(g.succCSR, int32(s))
+		}
+		g.predOff[id] = int32(len(g.predCSR))
+		for _, p := range g.pred[id] {
+			g.predCSR = append(g.predCSR, int32(p))
+		}
+	}
+	g.succOff[n] = int32(len(g.succCSR))
+	g.predOff[n] = int32(len(g.predCSR))
+
+	g.denseIdx = make([]int32, n)
+	for _, id := range g.topo {
+		if g.nodes[id].Kind != OpInput {
+			g.denseIdx[id] = int32(len(g.computeIDs))
+			g.computeIDs = append(g.computeIDs, id)
+		} else {
+			g.denseIdx[id] = -1
+		}
+	}
 }
 
 // MustFinalize is Finalize that panics on error; for use in model builders

@@ -256,3 +256,76 @@ func TestMustFinalizePanics(t *testing.T) {
 	}()
 	NewBuilder("bad").MustFinalize()
 }
+
+func TestCSRViewsMatchSlices(t *testing.T) {
+	g, _ := diamond(t)
+	for id := 0; id < g.Len(); id++ {
+		succ, pred := g.Succ(id), g.Pred(id)
+		succV, predV := g.SuccIDs(id), g.PredIDs(id)
+		if len(succ) != len(succV) || len(pred) != len(predV) {
+			t.Fatalf("node %d: CSR lengths differ", id)
+		}
+		for i := range succ {
+			if succ[i] != int(succV[i]) {
+				t.Errorf("node %d: succ[%d] = %d vs CSR %d", id, i, succ[i], succV[i])
+			}
+		}
+		for i := range pred {
+			if pred[i] != int(predV[i]) {
+				t.Errorf("node %d: pred[%d] = %d vs CSR %d", id, i, pred[i], predV[i])
+			}
+		}
+	}
+}
+
+func TestDenseIndex(t *testing.T) {
+	g, ids := diamond(t)
+	if g.DenseIndex(ids[0]) != -1 {
+		t.Errorf("input dense index = %d, want -1", g.DenseIndex(ids[0]))
+	}
+	cached := g.ComputeIDs()
+	copied := g.ComputeNodes()
+	if len(cached) != len(copied) || len(cached) != 4 {
+		t.Fatalf("compute ids = %v / %v", cached, copied)
+	}
+	for i, id := range cached {
+		if copied[i] != id {
+			t.Errorf("ComputeNodes[%d] = %d, want %d", i, copied[i], id)
+		}
+		if g.DenseIndex(id) != i {
+			t.Errorf("DenseIndex(%d) = %d, want %d", id, g.DenseIndex(id), i)
+		}
+	}
+	// ComputeNodes must hand out a private copy.
+	copied[0] = -99
+	if g.ComputeIDs()[0] == -99 {
+		t.Error("ComputeNodes aliases the cached slice")
+	}
+}
+
+func TestMarks(t *testing.T) {
+	m := NewMarks(8)
+	if m.Len() != 8 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	m.Set(3)
+	if !m.Has(3) || m.Has(4) {
+		t.Error("Set/Has broken")
+	}
+	m.Reset()
+	if m.Has(3) {
+		t.Error("Reset did not clear")
+	}
+	// Epoch wraparound must not resurrect stale stamps.
+	m.Set(1)
+	m.epoch = ^uint32(0)
+	m.stamp[2] = ^uint32(0) // stale entry stamped with the pre-wrap epoch
+	m.Reset()
+	if m.Has(1) || m.Has(2) {
+		t.Error("wraparound resurrected stale marks")
+	}
+	m.Set(5)
+	if !m.Has(5) {
+		t.Error("Set after wraparound")
+	}
+}

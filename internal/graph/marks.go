@@ -1,0 +1,40 @@
+package graph
+
+// Marks is an epoch-stamped node-set scratch buffer: a reusable replacement
+// for the transient map[int]bool membership sets the hot paths (tiling
+// derivation, subgraph costing) used to allocate per call. Reset is O(1) —
+// it bumps the epoch instead of clearing the array — so a pooled Marks makes
+// repeated membership tests allocation-free.
+//
+// A Marks is not safe for concurrent use; pool one per goroutine.
+type Marks struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// NewMarks returns a Marks able to hold node ids in [0, n).
+func NewMarks(n int) *Marks {
+	return &Marks{stamp: make([]uint32, n), epoch: 1}
+}
+
+// Reset empties the set in O(1).
+func (m *Marks) Reset() {
+	m.epoch++
+	if m.epoch == 0 {
+		// Epoch wrapped: old stamps could alias the new epoch, so pay the
+		// one-in-2^32 full clear.
+		for i := range m.stamp {
+			m.stamp[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
+// Set adds id to the set.
+func (m *Marks) Set(id int) { m.stamp[id] = m.epoch }
+
+// Has reports whether id is in the set.
+func (m *Marks) Has(id int) bool { return m.stamp[id] == m.epoch }
+
+// Len returns the capacity (the n passed to NewMarks).
+func (m *Marks) Len() int { return len(m.stamp) }

@@ -83,13 +83,16 @@ func axisUtil(e, lanes int) float64 {
 // returns the highest-utilization mapping. Depth-wise and weight-less layers
 // have no independent input-channel dimension, so DimK is excluded for them.
 func Best(core hw.Core, n *graph.Node) Mapping {
-	cands := []Dim{DimH, DimW, DimC}
+	// Fixed-size candidate array: Best is called in evaluator warm-up and
+	// per-layer loops, and the slice literal + append escaped on every call.
+	cands := [4]Dim{DimH, DimW, DimC, DimK}
+	ncands := 3
 	if n.Kind == graph.OpConv || n.Kind == graph.OpMatmul {
-		cands = append(cands, DimK)
+		ncands = 4
 	}
 	best := Mapping{Utilization: -1}
-	for _, rd := range cands {
-		for _, cd := range cands {
+	for _, rd := range cands[:ncands] {
+		for _, cd := range cands[:ncands] {
 			if rd == cd {
 				continue
 			}

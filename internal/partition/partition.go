@@ -45,14 +45,35 @@ type Partition struct {
 // key, so they panic instead of silently corrupting cost caches. Callers must
 // pass ids in ascending order for the key to be canonical.
 func MemberKey(members []int) string {
-	b := make([]byte, 0, len(members)*4)
+	return string(AppendMemberKey(make([]byte, 0, len(members)*4), members))
+}
+
+// AppendMemberKey appends the canonical key bytes of members to dst and
+// returns it — MemberKey without the string conversion, for callers that
+// build keys into a reusable scratch buffer (the evaluator's per-lookup
+// path). Same ordering contract and 32-bit guard as MemberKey.
+func AppendMemberKey(dst []byte, members []int) []byte {
 	for _, id := range members {
 		if id < 0 || uint64(id) > math.MaxUint32 {
 			panic(fmt.Sprintf("partition: node id %d outside the 32-bit cache-key range", id))
 		}
-		b = append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+		dst = append(dst, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
 	}
-	return string(b)
+	return dst
+}
+
+// AppendKeyMembers decodes a canonical MemberKey back into its sorted member
+// ids, appending to dst (pass dst[:0] to reuse a scratch buffer — the decode
+// is the evaluator's cold-miss path and must not allocate per subgraph when
+// the caller provides capacity). The key is the member list, so decoding
+// never needs the assignment vector. Inverse of MemberKey.
+func AppendKeyMembers(dst []int, key string) []int {
+	n := len(key) / 4
+	for i := 0; i < n; i++ {
+		dst = append(dst, int(uint32(key[4*i])<<24|uint32(key[4*i+1])<<16|
+			uint32(key[4*i+2])<<8|uint32(key[4*i+3])))
+	}
+	return dst
 }
 
 // SubgraphKey returns the interned MemberKey of subgraph s. Missing keys are
@@ -145,7 +166,7 @@ func Singletons(g *graph.Graph) *Partition {
 	for i := range p.assign {
 		p.assign[i] = Unassigned
 	}
-	for _, id := range g.ComputeNodes() {
+	for _, id := range g.ComputeIDs() {
 		p.assign[id] = p.count
 		p.count++
 	}
@@ -159,7 +180,7 @@ func Whole(g *graph.Graph) *Partition {
 	for i := range p.assign {
 		p.assign[i] = Unassigned
 	}
-	for _, id := range g.ComputeNodes() {
+	for _, id := range g.ComputeIDs() {
 		p.assign[id] = 0
 	}
 	return p
@@ -271,7 +292,7 @@ func (p *Partition) Key() string {
 // Validate checks both validity conditions: precedence on every edge between
 // compute nodes and weak connectivity of every subgraph.
 func (p *Partition) Validate() error {
-	for _, u := range p.g.ComputeNodes() {
+	for _, u := range p.g.ComputeIDs() {
 		for _, v := range p.g.Succ(u) {
 			if p.assign[v] == Unassigned {
 				continue
@@ -325,7 +346,7 @@ func (p *Partition) normalize() error {
 	for i := range adj {
 		adj[i] = map[int]bool{}
 	}
-	for _, u := range p.g.ComputeNodes() {
+	for _, u := range p.g.ComputeIDs() {
 		su := dense[u]
 		for _, v := range p.g.Succ(u) {
 			sv := dense[v]
@@ -521,7 +542,7 @@ func (p *Partition) repair() (*Partition, error) {
 // which activations hit DRAM.
 func (p *Partition) CrossEdges() map[int][]int {
 	out := map[int][]int{}
-	for _, u := range p.g.ComputeNodes() {
+	for _, u := range p.g.ComputeIDs() {
 		su := p.assign[u]
 		seen := map[int]bool{}
 		for _, v := range p.g.Succ(u) {

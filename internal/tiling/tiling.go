@@ -80,255 +80,15 @@ type Scheme struct {
 // Stage-1 assigns cfg's base tile to output nodes; stage-2 walks members in
 // reverse topological order computing Δ via LCM alignment and x via the
 // max-consumption rule; stage-3 solves the co-prime upd_num system.
+//
+// Derive builds a fresh Deriver per call; callers on a hot path should hold
+// (or pool) a Deriver and reuse its scratch buffers instead.
 func Derive(g *graph.Graph, members []int, cfg Config) (*Scheme, error) {
-	if err := cfg.validate(); err != nil {
+	d, err := NewDeriver(g, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if len(members) == 0 {
-		return nil, fmt.Errorf("tiling: empty subgraph")
-	}
-	member := make(map[int]bool, len(members))
-	for _, id := range members {
-		member[id] = true
-	}
-
-	// Collect the node universe: members plus external producers.
-	universe := map[int]bool{}
-	for id := range member {
-		universe[id] = true
-		for _, p := range g.Pred(id) {
-			universe[p] = true
-		}
-	}
-	ids := make([]int, 0, len(universe))
-	for id := range universe {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-
-	s := &Scheme{Nodes: make(map[int]*NodeScheme, len(ids))}
-	for _, id := range ids {
-		ns := &NodeScheme{ID: id, External: !member[id]}
-		// A member is an output if its results leave the subgraph: some
-		// consumer is external, or it has no consumers (a model output).
-		if member[id] {
-			if len(g.Succ(id)) == 0 {
-				ns.Output = true
-			}
-			for _, c := range g.Succ(id) {
-				if !member[c] {
-					ns.Output = true
-					break
-				}
-			}
-		}
-		s.Nodes[id] = ns
-	}
-
-	// internalConsumers(u) = member consumers of u.
-	internalConsumers := func(u int) []int {
-		var cs []int
-		for _, c := range g.Succ(u) {
-			if member[c] {
-				cs = append(cs, c)
-			}
-		}
-		return cs
-	}
-
-	// Stage 1 + 2, per dimension.
-	deriveDim := func(base int64,
-		fOf func(*graph.Node) int64, sOf func(*graph.Node) int64,
-		getDelta func(*NodeScheme) int64,
-		setDelta func(*NodeScheme, int64), setTile func(*NodeScheme, int64)) error {
-		// Reverse topological over the universe (ids ascend topologically).
-		for i := len(ids) - 1; i >= 0; i-- {
-			u := ids[i]
-			ns := s.Nodes[u]
-			cons := internalConsumers(u)
-			if len(cons) == 0 {
-				// Stage-1: a node without internal consumers is driven by
-				// the single-layer mapper: Δ = x = base tile.
-				setDelta(ns, base)
-				setTile(ns, base)
-				continue
-			}
-			// Stage-2: Δ(u) = lcm over children v of Δ(v)·s(v);
-			// x(u) = max over children of f_v(Δ(u)/s(v)).
-			var delta int64 = 1
-			for _, v := range cons {
-				sv := sOf(g.Node(v))
-				step := getDelta(s.Nodes[v]) * sv
-				if step <= 0 {
-					return fmt.Errorf("tiling: node %d: non-positive step", v)
-				}
-				delta = lcm64(delta, step)
-				if delta <= 0 {
-					return fmt.Errorf("tiling: LCM overflow at node %d", u)
-				}
-			}
-			var tile int64
-			for _, v := range cons {
-				nv := g.Node(v)
-				sv := sOf(nv)
-				fv := fOf(nv)
-				consumed := delta / sv // consumer offset per producer update
-				chi := fv + (consumed-1)*sv
-				if chi > tile {
-					tile = chi
-				}
-			}
-			setDelta(ns, delta)
-			setTile(ns, tile)
-		}
-		return nil
-	}
-
-	errH := deriveDim(int64(cfg.BaseTileH),
-		func(n *graph.Node) int64 { return int64(n.KernelH) },
-		func(n *graph.Node) int64 { return int64(n.StrideH) },
-		func(ns *NodeScheme) int64 { return ns.DeltaH },
-		func(ns *NodeScheme, v int64) { ns.DeltaH = v },
-		func(ns *NodeScheme, v int64) { ns.TileH = v })
-	if errH != nil {
-		return nil, errH
-	}
-	errW := deriveDim(int64(cfg.BaseTileW),
-		func(n *graph.Node) int64 { return int64(n.KernelW) },
-		func(n *graph.Node) int64 { return int64(n.StrideW) },
-		func(ns *NodeScheme) int64 { return ns.DeltaW },
-		func(ns *NodeScheme, v int64) { ns.DeltaW = v },
-		func(ns *NodeScheme, v int64) { ns.TileW = v })
-	if errW != nil {
-		return nil, errW
-	}
-
-	// Stage 3: solve upd_num per dimension.
-	if err := solveUpd(g, s, ids, member,
-		func(ns *NodeScheme) int64 { return ns.DeltaH },
-		func(n *graph.Node) int64 { return int64(n.StrideH) },
-		func(ns *NodeScheme, v int64) { ns.UpdH = v }); err != nil {
-		return nil, err
-	}
-	if err := solveUpd(g, s, ids, member,
-		func(ns *NodeScheme) int64 { return ns.DeltaW },
-		func(n *graph.Node) int64 { return int64(n.StrideW) },
-		func(ns *NodeScheme, v int64) { ns.UpdW = v }); err != nil {
-		return nil, err
-	}
-
-	// Execution sequence: members in topological order.
-	s.Order = make([]int, 0, len(members))
-	for _, id := range ids {
-		if member[id] {
-			s.Order = append(s.Order, id)
-		}
-	}
-	return s, nil
-}
-
-// solveUpd solves upd_num(v)·Δ(v)·s(v) = upd_num(u)·Δ(u) for every internal
-// edge (u,v) of the subgraph (edges from external producers included), via
-// rational propagation over the undirected edge relation, then scales to the
-// minimal positive integer (co-prime) solution.
-func solveUpd(g *graph.Graph, s *Scheme, ids []int, member map[int]bool,
-	delta func(*NodeScheme) int64, stride func(*graph.Node) int64,
-	setUpd func(*NodeScheme, int64)) error {
-
-	// prod(n) = upd(n)·Δ(n): elements of n materialized per elementary op.
-	// Edge (u,v): prod(u) = prod(v)·s(v). Propagate prod as a rational
-	// num/den from the first node; the universe of one subgraph is weakly
-	// connected through member nodes (external producers attach to members).
-	prods := map[int]ratVal{}
-
-	adj := map[int][]int{} // undirected, annotated by resolve functions below
-	for _, v := range ids {
-		if !member[v] {
-			continue
-		}
-		for _, u := range g.Pred(v) {
-			if _, ok := s.Nodes[u]; !ok {
-				continue
-			}
-			adj[u] = append(adj[u], v)
-			adj[v] = append(adj[v], u)
-		}
-	}
-
-	for _, start := range ids {
-		if _, done := prods[start]; done {
-			continue
-		}
-		prods[start] = ratVal{delta(s.Nodes[start]), 1}
-		queue := []int{start}
-		for len(queue) > 0 {
-			n := queue[0]
-			queue = queue[1:]
-			pn := prods[n]
-			for _, m := range adj[n] {
-				// Determine edge direction to apply prod(u) = prod(v)·s(v).
-				var pm ratVal
-				if isPred(g, m, n) { // m -> n (m producer)
-					pm = reduceRat(pn.num*stride(g.Node(n)), pn.den)
-				} else { // n -> m (m consumer): prod(m) = prod(n)/s(m)
-					pm = reduceRat(pn.num, pn.den*stride(g.Node(m)))
-				}
-				if prev, ok := prods[m]; ok {
-					if prev.num*pm.den != pm.num*prev.den {
-						return fmt.Errorf("tiling: inconsistent update rates at node %d (%d/%d vs %d/%d)",
-							m, prev.num, prev.den, pm.num, pm.den)
-					}
-					continue
-				}
-				prods[m] = pm
-				queue = append(queue, m)
-			}
-		}
-	}
-
-	// upd(n) = prod(n)/Δ(n) as a rational; scale all by LCM of denominators,
-	// then divide by the overall GCD for the unique co-prime solution.
-	type urat struct {
-		id       int
-		num, den int64
-	}
-	var us []urat
-	for _, id := range ids {
-		p := prods[id]
-		d := delta(s.Nodes[id])
-		r := reduceRat(p.num, p.den*d)
-		us = append(us, urat{id, r.num, r.den})
-	}
-	var denLCM int64 = 1
-	for _, u := range us {
-		denLCM = lcm64(denLCM, u.den)
-		if denLCM <= 0 {
-			return fmt.Errorf("tiling: upd_num denominator overflow")
-		}
-	}
-	var all int64
-	vals := make(map[int]int64, len(us))
-	for _, u := range us {
-		v := u.num * (denLCM / u.den)
-		vals[u.id] = v
-		all = gcd64(all, v)
-	}
-	if all == 0 {
-		all = 1
-	}
-	for id, v := range vals {
-		setUpd(s.Nodes[id], v/all)
-	}
-	return nil
-}
-
-func isPred(g *graph.Graph, u, v int) bool {
-	for _, p := range g.Pred(v) {
-		if p == u {
-			return true
-		}
-	}
-	return false
+	return d.Derive(members)
 }
 
 type ratVal struct{ num, den int64 }
