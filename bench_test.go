@@ -374,6 +374,41 @@ func BenchmarkColdEval(b *testing.B) {
 	}
 }
 
+// BenchmarkMutationOps measures the GA's candidate-generation path over the
+// model zoo: a fixed cycle of modify-node / split-subgraph / merge-subgraph /
+// crossover draws against a pool of seeded random partitions, results
+// discarded — pure operator cost (scratch workspace + in-place repair), no
+// evaluation. cmd/benchreport runs the same workload and records it in
+// BENCH_searchpath.json against the pre-overhaul baseline.
+func BenchmarkMutationOps(b *testing.B) {
+	for _, model := range models.Names() {
+		b.Run(model, func(b *testing.B) {
+			g := models.MustBuild(model)
+			rng := rand.New(rand.NewSource(5))
+			pool := make([]*partition.Partition, 8)
+			for i := range pool {
+				pool[i] = core.RandomPartition(g, rng, 0.3)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pool[i%len(pool)]
+				switch i % 4 {
+				case 0:
+					core.ApplyMutationOp(g, rng, p, core.OpModifyNode)
+				case 1:
+					core.ApplyMutationOp(g, rng, p, core.OpSplitSubgraph)
+				case 2:
+					core.ApplyMutationOp(g, rng, p, core.OpMergeSubgraphs)
+				default:
+					core.CrossoverPartition(g, rng, p, pool[(i+3)%len(pool)])
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
 // BenchmarkEnumeration measures the exact downset DP on ResNet50.
 func BenchmarkEnumeration(b *testing.B) {
 	ev := eval.MustNew(models.MustBuild("resnet50"), hw.DefaultPlatform(), tiling.DefaultConfig())

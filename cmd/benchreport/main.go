@@ -55,6 +55,36 @@ var coldBaseline = map[string][2]float64{
 	"vgg16":       {33841, 2528},
 }
 
+// searchMutationBaseline is the pre-overhaul BenchmarkMutationOps result per
+// model (ops/s, allocs/op), recorded on the PR-3 tree (commit 518d72f,
+// reference dev box) before the dense partition-operator workspace landed.
+var searchMutationBaseline = map[string][2]float64{
+	"densenet121": {6578, 894},
+	"googlenet":   {29448, 258},
+	"gpt":         {17561, 433},
+	"mobilenetv2": {36981, 225},
+	"nasnet":      {6853, 887},
+	"randwire-a":  {16508, 382},
+	"randwire-b":  {9925, 569},
+	"resnet152":   {10605, 694},
+	"resnet50":    {32874, 256},
+	"transformer": {36063, 233},
+	"unet":        {70948, 116},
+	"vgg16":       {130889, 76},
+}
+
+// searchGABaseline is the pre-overhaul end-to-end GA throughput
+// (samples/s, 1000 samples, Workers=4, no genome memo) on the same tree.
+var searchGABaseline = map[string]float64{
+	"resnet50":  9278,
+	"googlenet": 12256,
+	"nasnet":    3370,
+}
+
+// searchGAModels is the subset of the zoo the end-to-end GA workload runs on
+// (a full zoo sweep of whole searches would dominate the report's runtime).
+var searchGAModels = []string{"resnet50", "googlenet", "nasnet"}
+
 type coldRow struct {
 	Model       string  `json:"model"`
 	EvalsPerSec float64 `json:"evals_per_sec"`
@@ -92,6 +122,48 @@ type report struct {
 	Cold     []coldRow  `json:"cold_eval"`
 	Delta    []deltaRow `json:"delta_eval"`
 	GA       []gaRow    `json:"ga_parallel"`
+}
+
+// mutationRow is one model of the search_path mutation workload
+// (BenchmarkMutationOps: modify/split/merge/crossover cycle, no evaluation).
+type mutationRow struct {
+	Model       string  `json:"model"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	BaselineOpsPerSec   float64 `json:"baseline_ops_per_sec,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+	AllocReduction      float64 `json:"alloc_reduction,omitempty"`
+}
+
+// searchGARow is one (model, memo setting) of the search_path end-to-end GA
+// workload.
+type searchGARow struct {
+	Model         string  `json:"model"`
+	Memo          bool    `json:"memo"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	MemoHits      int     `json:"memo_hits,omitempty"`
+
+	BaselineSamplesPerSec float64 `json:"baseline_samples_per_sec,omitempty"`
+	Speedup               float64 `json:"speedup,omitempty"`
+}
+
+// searchReport is the search_path workload file (BENCH_searchpath.json):
+// candidate-generation throughput plus end-to-end GA samples/sec with the
+// genome memo on and off, against the embedded pre-overhaul baseline.
+type searchReport struct {
+	Bench    string        `json:"bench"`
+	Go       string        `json:"go"`
+	GOOS     string        `json:"goos"`
+	GOARCH   string        `json:"goarch"`
+	NumCPU   int           `json:"num_cpu"`
+	Baseline string        `json:"baseline"`
+	Mutation []mutationRow `json:"mutation_ops"`
+	GA       []searchGARow `json:"ga_search"`
 }
 
 func defaultMem() hw.MemConfig {
@@ -213,8 +285,93 @@ func gaWorkload(samples int) ([]gaRow, error) {
 	return out, nil
 }
 
+// mutationWorkload mirrors BenchmarkMutationOps: a fixed cycle of
+// modify/split/merge/crossover draws against a pool of seeded partitions.
+func mutationWorkload(model string) (mutationRow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return mutationRow{}, err
+	}
+	rng := rand.New(rand.NewSource(5))
+	pool := make([]*partition.Partition, 8)
+	for i := range pool {
+		pool[i] = core.RandomPartition(g, rng, 0.3)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := pool[i%len(pool)]
+			switch i % 4 {
+			case 0:
+				core.ApplyMutationOp(g, rng, p, core.OpModifyNode)
+			case 1:
+				core.ApplyMutationOp(g, rng, p, core.OpSplitSubgraph)
+			case 2:
+				core.ApplyMutationOp(g, rng, p, core.OpMergeSubgraphs)
+			default:
+				core.CrossoverPartition(g, rng, p, pool[(i+3)%len(pool)])
+			}
+		}
+	})
+	row := mutationRow{
+		Model:       model,
+		OpsPerSec:   float64(res.N) / res.T.Seconds(),
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+	}
+	if base, ok := searchMutationBaseline[model]; ok {
+		row.BaselineOpsPerSec, row.BaselineAllocsPerOp = base[0], base[1]
+		row.Speedup = row.OpsPerSec / base[0]
+		if row.AllocsPerOp > 0 {
+			row.AllocReduction = base[1] / row.AllocsPerOp
+		}
+	}
+	return row, nil
+}
+
+// searchGAWorkload runs one seeded end-to-end search per (model, memo
+// setting): Workers=4 like the recorded baseline, delta engine, fresh
+// evaluator per iteration.
+func searchGAWorkload(model string, samples int, memo bool) (searchGARow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return searchGARow{}, err
+	}
+	mem := defaultMem()
+	hits := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+			_, stats, err := core.Run(ev, core.Options{
+				Seed: 7, Workers: 4, Population: 50, MaxSamples: samples,
+				Objective:         eval.Objective{Metric: eval.MetricEMA},
+				Mem:               core.MemSearch{Fixed: mem},
+				DisableGenomeMemo: !memo,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits = stats.MemoHits
+		}
+	})
+	row := searchGARow{
+		Model:         model,
+		Memo:          memo,
+		SamplesPerSec: float64(samples) * float64(res.N) / res.T.Seconds(),
+		NsPerOp:       float64(res.NsPerOp()),
+		MemoHits:      hits,
+	}
+	if base, ok := searchGABaseline[model]; ok && samples == 1000 {
+		row.BaselineSamplesPerSec = base
+		row.Speedup = row.SamplesPerSec / base
+	}
+	return row, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_coldpath.json", "output path")
+	searchOut := flag.String("so", "BENCH_searchpath.json", "search_path output path (empty to skip)")
 	quick := flag.Bool("quick", false, "reduced budgets for CI smoke runs")
 	flag.Parse()
 
@@ -267,4 +424,48 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *searchOut == "" {
+		return
+	}
+	srep := searchReport{
+		Bench:    "searchpath",
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		NumCPU:   runtime.NumCPU(),
+		Baseline: "pre-dense-operator tree (PR-3, commit 518d72f)",
+	}
+	for _, model := range models.Names() {
+		row, err := mutationWorkload(model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: mutation %s: %v\n", model, err)
+			os.Exit(1)
+		}
+		fmt.Printf("mut   %-12s %10.0f ops/s    %8.0f allocs/op  (%.1fx ops/s, %.0fx fewer allocs)\n",
+			row.Model, row.OpsPerSec, row.AllocsPerOp, row.Speedup, row.AllocReduction)
+		srep.Mutation = append(srep.Mutation, row)
+	}
+	for _, model := range searchGAModels {
+		for _, memo := range []bool{false, true} {
+			row, err := searchGAWorkload(model, gaSamples, memo)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: ga search %s: %v\n", model, err)
+				os.Exit(1)
+			}
+			fmt.Printf("gasp  %-12s memo=%-5v %10.0f samples/s  (%d memo hits)\n",
+				row.Model, row.Memo, row.SamplesPerSec, row.MemoHits)
+			srep.GA = append(srep.GA, row)
+		}
+	}
+	sbuf, err := json.MarshalIndent(srep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: marshal search: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*searchOut, append(sbuf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: write search: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *searchOut)
 }

@@ -7,6 +7,7 @@ package baselines
 
 import (
 	"cocco/internal/eval"
+	"cocco/internal/graph"
 	"cocco/internal/hw"
 	"cocco/internal/partition"
 )
@@ -16,6 +17,9 @@ import (
 // greatest positive benefit until no merge helps. Merges that exceed the
 // fixed buffer capacity or are unschedulable are skipped. Returns the final
 // partition and the number of candidate evaluations ("samples") spent.
+// Member lists and neighbor sets go through reusable scratch buffers
+// (AppendMembers + Marks) — the O(S²) merge scan used to allocate a fresh
+// member slice and set per candidate pair.
 func Greedy(ev *eval.Evaluator, mem hw.MemConfig, metric eval.Metric) (*partition.Partition, int) {
 	p := partition.Singletons(ev.Graph())
 	samples := 0
@@ -25,6 +29,8 @@ func Greedy(ev *eval.Evaluator, mem hw.MemConfig, metric eval.Metric) (*partitio
 		return ev.SubgraphMetric(ev.Subgraph(members), mem, metric)
 	}
 
+	nbrSeen := graph.NewMarks(p.NumSubgraphs() + 1)
+	var membersA, membersB, mergedMembers, neighbors []int
 	for {
 		type move struct {
 			a, b    int
@@ -34,7 +40,8 @@ func Greedy(ev *eval.Evaluator, mem hw.MemConfig, metric eval.Metric) (*partitio
 		var best *move
 		tried := map[[2]int]bool{}
 		for a := 0; a < p.NumSubgraphs(); a++ {
-			for _, b := range quotientNeighbors(ev, p, a) {
+			neighbors = quotientNeighbors(ev, p, a, nbrSeen, neighbors[:0])
+			for _, b := range neighbors {
 				key := [2]int{minInt(a, b), maxInt(a, b)}
 				if tried[key] {
 					continue
@@ -44,15 +51,17 @@ func Greedy(ev *eval.Evaluator, mem hw.MemConfig, metric eval.Metric) (*partitio
 				if err != nil {
 					continue
 				}
+				membersA = p.AppendMembers(membersA[:0], key[0])
+				membersB = p.AppendMembers(membersB[:0], key[1])
 				// Identify the merged subgraph: the one containing a's
 				// first member after renumbering.
-				ms := merged.Of(p.Members(key[0])[0])
-				mergedMembers := merged.Members(ms)
+				ms := merged.Of(membersA[0])
+				mergedMembers = merged.AppendMembers(mergedMembers[:0], ms)
 				mc := ev.Subgraph(mergedMembers)
 				if !ev.Fits(mc, mem) {
 					continue
 				}
-				benefit := subCost(p.Members(key[0])) + subCost(p.Members(key[1])) - subCost(mergedMembers)
+				benefit := subCost(membersA) + subCost(membersB) - subCost(mergedMembers)
 				if benefit > 0 && (best == nil || benefit > best.benefit) {
 					best = &move{a: key[0], b: key[1], benefit: benefit, merged: merged}
 				}
@@ -65,16 +74,27 @@ func Greedy(ev *eval.Evaluator, mem hw.MemConfig, metric eval.Metric) (*partitio
 	}
 }
 
-// quotientNeighbors lists subgraphs adjacent to s in the quotient graph.
-func quotientNeighbors(ev *eval.Evaluator, p *partition.Partition, s int) []int {
+// quotientNeighbors appends the subgraphs adjacent to s in the quotient graph
+// to out, in first-contact order, using the caller's Marks for deduplication.
+func quotientNeighbors(ev *eval.Evaluator, p *partition.Partition, s int, seen *graph.Marks, out []int) []int {
 	g := ev.Graph()
-	seen := map[int]bool{}
-	var out []int
-	for _, u := range p.Members(s) {
-		for _, v := range append(append([]int(nil), g.Pred(u)...), g.Succ(u)...) {
-			t := p.Of(v)
-			if t != partition.Unassigned && t != s && !seen[t] {
-				seen[t] = true
+	seen.Grow(p.NumSubgraphs())
+	seen.Reset()
+	for _, u := range g.ComputeIDs() {
+		if p.Of(u) != s {
+			continue
+		}
+		for _, v := range g.PredIDs(u) {
+			t := p.Of(int(v))
+			if t != partition.Unassigned && t != s && !seen.Has(t) {
+				seen.Set(t)
+				out = append(out, t)
+			}
+		}
+		for _, v := range g.SuccIDs(u) {
+			t := p.Of(int(v))
+			if t != partition.Unassigned && t != s && !seen.Has(t) {
+				seen.Set(t)
 				out = append(out, t)
 			}
 		}

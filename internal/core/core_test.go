@@ -287,9 +287,13 @@ func TestQuotientNeighborsSymmetric(t *testing.T) {
 	g := models.MustBuild("googlenet")
 	rng := rand.New(rand.NewSource(13))
 	p := RandomPartition(g, rng, 0.5)
+	sc := getOpScratch(g.Len(), p.NumSubgraphs()+1)
+	defer putOpScratch(sc)
+	sc2 := getOpScratch(g.Len(), p.NumSubgraphs()+1)
+	defer putOpScratch(sc2)
 	for s := 0; s < p.NumSubgraphs(); s++ {
-		for _, nb := range quotientNeighbors(g, p, s) {
-			back := quotientNeighbors(g, p, nb)
+		for _, nb := range append([]int(nil), quotientNeighbors(g, p, s, sc)...) {
+			back := quotientNeighbors(g, p, nb, sc2)
 			found := false
 			for _, x := range back {
 				if x == s {

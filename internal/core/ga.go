@@ -19,6 +19,9 @@ type Stats struct {
 	Generations int
 	// FeasibleSamples counts genomes feasible after in-situ repair.
 	FeasibleSamples int
+	// MemoHits counts samples served from the genome memo (duplicate
+	// candidates that skipped repair and evaluation entirely).
+	MemoHits int
 	// BestHistory records the best-so-far cost at the end of each
 	// generation.
 	BestHistory []float64
@@ -34,6 +37,11 @@ type Optimizer struct {
 	samples int
 	gen     int
 	stats   Stats
+	memo    *genomeMemo // nil when Options.DisableGenomeMemo
+
+	// evaluateBatch scratch, reused across generations.
+	batchHash []uint64
+	batchDup  []int
 }
 
 // NewOptimizer validates options and prepares a run.
@@ -42,7 +50,11 @@ func NewOptimizer(ev *eval.Evaluator, opt Options) (*Optimizer, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return &Optimizer{ev: ev, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}, nil
+	o := &Optimizer{ev: ev, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	if !opt.DisableGenomeMemo {
+		o.memo = newGenomeMemo()
+	}
+	return o, nil
 }
 
 // Run executes the full search and returns the best feasible genome found.
@@ -173,13 +185,90 @@ func ParallelFor(n, workers int, fn func(i int)) {
 // own child RNG) and the results are committed to the optimizer state in
 // submission order, so Stats, Trace, elitism, and the best-genome update
 // are identical for every worker count.
+//
+// With the genome memo on, duplicate candidates skip scoring: committed
+// duplicates replay the stored genome, and in-batch duplicates of a
+// memoizable first occurrence replay its fresh result. Every memo decision
+// happens in the serial phases (cheap: partition hashes are cached by the
+// operator pipeline, and the memo tables are only mutated in the commit
+// loop), so worker count cannot change which samples hit; and only provably
+// deterministic results are replayed, so the memo never alters the search
+// trajectory either (see memo.go).
 func (o *Optimizer) evaluateBatch(cands []candidate) []*Genome {
 	scored := make([]*Genome, len(cands))
+	if o.memo == nil {
+		ParallelFor(len(cands), o.opt.Workers, func(i int) {
+			scored[i] = o.score(cands[i], o.samples+i+1)
+		})
+		for _, g := range scored {
+			o.commit(g)
+		}
+		return scored
+	}
+
+	hashes := o.batchHash[:0]
+	dupOf := o.batchDup[:0]
+	hits := 0
+
+	// Phase 1 (serial): hash candidates (O(1) — the operator pipeline caches
+	// the partition hash), probe the memo, and link in-batch duplicates.
+	firstIdx := make(map[uint64][]int, len(cands))
+	for i, c := range cands {
+		hashes = append(hashes, memoHash(c))
+		dupOf = append(dupOf, -1)
+		if g := o.memo.get(hashes[i], c); g != nil {
+			scored[i] = memoHit(g)
+			hits++
+			continue
+		}
+		for _, j := range firstIdx[hashes[i]] {
+			if c.mem == cands[j].mem && samePartition(c.p, cands[j].p) {
+				dupOf[i] = j
+				break
+			}
+		}
+		if dupOf[i] < 0 {
+			firstIdx[hashes[i]] = append(firstIdx[hashes[i]], i)
+		}
+	}
+	o.batchHash, o.batchDup = hashes, dupOf
+	// Phase 2 (parallel): score first occurrences.
 	ParallelFor(len(cands), o.opt.Workers, func(i int) {
-		scored[i] = o.score(cands[i], o.samples+i+1)
+		if scored[i] == nil && dupOf[i] < 0 {
+			scored[i] = o.score(cands[i], o.samples+i+1)
+		}
 	})
-	for _, g := range scored {
+	// Phase 3 (serial): resolve in-batch duplicates of memoizable first
+	// occurrences; the rest (repair-RNG-dependent results) must score with
+	// their own sample seeds, exactly as they would without the memo — on the
+	// worker pool again, since a tight memory config can make them common.
+	rescore := false
+	for i := range cands {
+		if dupOf[i] < 0 {
+			continue
+		}
+		if first := scored[dupOf[i]]; o.memoizable(first, cands[dupOf[i]]) {
+			scored[i] = memoHit(first)
+			hits++
+		} else {
+			rescore = true
+		}
+	}
+	if rescore {
+		ParallelFor(len(cands), o.opt.Workers, func(i int) {
+			if scored[i] == nil {
+				scored[i] = o.score(cands[i], o.samples+i+1)
+			}
+		})
+	}
+	o.stats.MemoHits += hits
+	for i, g := range scored {
 		o.commit(g)
+		// Memo-hit replays fail the pointer check in memoizable, so only
+		// freshly scored, deterministic results are (re)stored.
+		if o.memoizable(g, cands[i]) {
+			o.memo.put(hashes[i], cands[i], g)
+		}
 	}
 	return scored
 }

@@ -117,6 +117,13 @@ type Options struct {
 	// paths are bit-identical (the equivalence suite pins this), so the flag
 	// only exists for the delta-vs-full ablation and benchmarks.
 	DisableDeltaEval bool
+	// DisableGenomeMemo scores every candidate from scratch instead of
+	// replaying the committed result of an identical earlier candidate
+	// (same partition labels and memory configuration). The memo only replays
+	// provably deterministic results, so the two modes are bit-identical
+	// (TestGenomeMemoEquivalence); the flag exists for ablation and
+	// benchmarks.
+	DisableGenomeMemo bool
 }
 
 // withDefaults fills unset fields.

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+)
+
+// runMemoTraced executes one search with the given memo setting and captures
+// everything an observer can see.
+func runMemoTraced(t *testing.T, disableMemo bool, ms MemSearch, obj eval.Objective, mem hw.MemConfig) (float64, []float64, []TracePoint, *Stats) {
+	t.Helper()
+	ev := testEval(t, "googlenet")
+	var trace []TracePoint
+	best, stats, err := Run(ev, Options{
+		Seed: 31, Workers: 4, Population: 30, MaxSamples: 1200,
+		Objective:         obj,
+		Mem:               ms,
+		DisableGenomeMemo: disableMemo,
+		Trace:             func(tp TracePoint) { trace = append(trace, tp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return best.Cost, stats.BestHistory, trace, stats
+}
+
+// TestGenomeMemoEquivalence pins the memo's exactness contract: the memo only
+// replays results that a fresh evaluation would reproduce bit-identically, so
+// a search with the memo on must equal the same search with it off in every
+// observable — best cost, per-generation history, and the full trace stream —
+// while actually serving samples from the memo.
+func TestGenomeMemoEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		ms   MemSearch
+		obj  eval.Objective
+		mem  hw.MemConfig
+	}{
+		// A roomy fixed config: most candidates are feasible, so the memo
+		// both fills and hits aggressively.
+		{"fixed-mem", MemSearch{Fixed: fixedMem()}, eval.Objective{Metric: eval.MetricEMA}, fixedMem()},
+		// A tight fixed config: the in-situ repair fires constantly, so most
+		// results are NOT memoizable and the skip logic is what's exercised.
+		{"tight-mem", MemSearch{Fixed: hw.MemConfig{Kind: hw.SeparateBuffer,
+			GlobalBytes: 96 * hw.KiB, WeightBytes: 128 * hw.KiB}},
+			eval.Objective{Metric: eval.MetricEMA}, hw.MemConfig{}},
+		// Memory DSE: the memo key must separate identical partitions paired
+		// with different capacities.
+		{"mem-dse", MemSearch{Search: true, Kind: hw.SeparateBuffer,
+			Global: hw.PaperGlobalRange(), Weight: hw.PaperWeightRange()},
+			eval.Objective{Metric: eval.MetricEnergy, Alpha: 0.002}, hw.MemConfig{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cOn, hOn, tOn, sOn := runMemoTraced(t, false, tc.ms, tc.obj, tc.mem)
+			cOff, hOff, tOff, sOff := runMemoTraced(t, true, tc.ms, tc.obj, tc.mem)
+			if cOn != cOff {
+				t.Errorf("best cost differs: memo-on %g vs memo-off %g", cOn, cOff)
+			}
+			if len(hOn) != len(hOff) {
+				t.Fatalf("BestHistory length differs: %d vs %d", len(hOn), len(hOff))
+			}
+			for i := range hOn {
+				if hOn[i] != hOff[i] {
+					t.Fatalf("BestHistory[%d] differs: %g vs %g", i, hOn[i], hOff[i])
+				}
+			}
+			if len(tOn) != len(tOff) {
+				t.Fatalf("trace length differs: %d vs %d", len(tOn), len(tOff))
+			}
+			for i := range tOn {
+				if tOn[i] != tOff[i] {
+					t.Fatalf("trace[%d] differs: %+v vs %+v", i, tOn[i], tOff[i])
+				}
+			}
+			if sOff.MemoHits != 0 {
+				t.Errorf("memo-off run reports %d memo hits", sOff.MemoHits)
+			}
+			if tc.name == "fixed-mem" && sOn.MemoHits == 0 {
+				t.Error("memo-on run served no samples from the memo; the test lost its teeth")
+			}
+			t.Logf("memo hits: %d / %d samples", sOn.MemoHits, sOn.Samples)
+		})
+	}
+}
+
+// TestGenomeMemoWorkersDeterminism re-pins the PR-1 determinism contract with
+// the memo explicitly in play: worker count must not change which samples hit
+// the memo (decisions are serial) nor any observable result.
+func TestGenomeMemoWorkersDeterminism(t *testing.T) {
+	run := func(workers int) (float64, int, []TracePoint) {
+		ev := testEval(t, "resnet50")
+		var trace []TracePoint
+		best, stats, err := Run(ev, Options{
+			Seed: 13, Workers: workers, Population: 24, MaxSamples: 800,
+			Objective: eval.Objective{Metric: eval.MetricEMA},
+			Mem:       MemSearch{Fixed: fixedMem()},
+			Trace:     func(tp TracePoint) { trace = append(trace, tp) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Cost, stats.MemoHits, trace
+	}
+	c1, m1, t1 := run(1)
+	c8, m8, t8 := run(8)
+	if c1 != c8 {
+		t.Errorf("best cost differs: %g vs %g", c1, c8)
+	}
+	if m1 != m8 {
+		t.Errorf("memo hits differ across worker counts: %d vs %d", m1, m8)
+	}
+	if len(t1) != len(t8) {
+		t.Fatalf("trace length differs: %d vs %d", len(t1), len(t8))
+	}
+	for i := range t1 {
+		if t1[i] != t8[i] {
+			t.Fatalf("trace[%d] differs: %+v vs %+v", i, t1[i], t8[i])
+		}
+	}
+}

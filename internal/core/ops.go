@@ -1,8 +1,8 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
-	"sort"
 
 	"cocco/internal/eval"
 	"cocco/internal/graph"
@@ -16,10 +16,13 @@ import (
 // its latest-scheduled producers — a choice that always preserves precedence
 // and connectivity.
 func RandomPartition(g *graph.Graph, rng *rand.Rand, pNew float64) *partition.Partition {
-	assign := make([]int, g.Len())
-	for i := range assign {
-		assign[i] = partition.Unassigned
+	sc := getOpScratch(g.Len(), 1)
+	defer putOpScratch(sc)
+	assign := sc.assign[:0]
+	for i := 0; i < g.Len(); i++ {
+		assign = append(assign, partition.Unassigned)
 	}
+	sc.assign = assign
 	next := 0
 	for _, v := range g.ComputeIDs() {
 		// Producers already assigned (inputs stay Unassigned).
@@ -50,6 +53,36 @@ func RandomPartition(g *graph.Graph, rng *rand.Rand, pNew float64) *partition.Pa
 		return partition.Singletons(g)
 	}
 	return p
+}
+
+// MutationOp identifies one of the three customized partition mutations
+// (Figure 9c–e).
+type MutationOp int
+
+const (
+	// OpModifyNode moves a random node to a neighbor's or a fresh subgraph.
+	OpModifyNode MutationOp = iota
+	// OpSplitSubgraph splits a random multi-node subgraph in two.
+	OpSplitSubgraph
+	// OpMergeSubgraphs merges a random subgraph with a quotient neighbor.
+	OpMergeSubgraphs
+)
+
+// ApplyMutationOp applies one specific partition mutation. Exported so the
+// search-path benchmarks (and any caller wanting a fixed operator mix) can
+// drive the same operators ApplyRandomMutation samples from. Unknown ops
+// panic rather than silently running some mutation.
+func ApplyMutationOp(g *graph.Graph, rng *rand.Rand, p *partition.Partition, op MutationOp) *partition.Partition {
+	switch op {
+	case OpModifyNode:
+		return mutateModifyNode(g, rng, p)
+	case OpSplitSubgraph:
+		return mutateSplit(g, rng, p)
+	case OpMergeSubgraphs:
+		return mutateMerge(g, rng, p)
+	default:
+		panic(fmt.Sprintf("core: unknown MutationOp %d", op))
+	}
 }
 
 // ApplyRandomMutation applies one uniformly chosen partition mutation
@@ -90,6 +123,17 @@ func RepairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, me
 	return repairInSitu(ev, rng, p, mem, false)
 }
 
+// memberCount counts the members of subgraph s without materializing them.
+func memberCount(p *partition.Partition, s int) int {
+	n := 0
+	for _, id := range p.Graph().ComputeIDs() {
+		if p.Of(id) == s {
+			n++
+		}
+	}
+	return n
+}
+
 // repairInSitu is RepairInSitu with a switch for the full-recompute
 // evaluation path (the delta-vs-full ablation); both paths are bit-identical.
 func repairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, mem hw.MemConfig, fullEval bool) (*partition.Partition, *eval.Result) {
@@ -101,7 +145,7 @@ func repairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, me
 	for iter := 0; iter < 64 && !res.Feasible(); iter++ {
 		split := false
 		for _, s := range res.Infeasible {
-			if len(p.Members(s)) < 2 {
+			if memberCount(p, s) < 2 {
 				continue
 			}
 			if q, err := splitRandom(ev.Graph(), rng, p, s); err == nil && q != p {
@@ -127,30 +171,36 @@ func repairInSitu(ev *eval.Evaluator, rng *rand.Rand, p *partition.Partition, me
 // chosen at random. Falls back to a clone of dad if the blended assignment
 // is unschedulable.
 func crossoverPartition(g *graph.Graph, rng *rand.Rand, dad, mom *partition.Partition) *partition.Partition {
-	assign := make([]int, g.Len())
-	for i := range assign {
-		assign[i] = partition.Unassigned
+	sc := getOpScratch(g.Len(), 1)
+	defer putOpScratch(sc)
+	assign := sc.assign[:0]
+	for i := 0; i < g.Len(); i++ {
+		assign = append(assign, partition.Unassigned)
 	}
-	decided := make([]bool, g.Len())
+	sc.assign = assign
+	decided := sc.nodes
+	decided.Reset()
 	next := 0
 
 	for _, v := range g.ComputeIDs() {
-		if decided[v] {
+		if decided.Has(v) {
 			continue
 		}
 		src := dad
 		if rng.Intn(2) == 1 {
 			src = mom
 		}
-		members := src.Members(src.Of(v))
-		var undecided, overlap []int
+		members := src.AppendMembers(sc.members[:0], src.Of(v))
+		sc.members = members
+		undecided, overlap := sc.listA[:0], sc.listB[:0]
 		for _, m := range members {
-			if decided[m] {
+			if decided.Has(m) {
 				overlap = append(overlap, m)
 			} else {
 				undecided = append(undecided, m)
 			}
 		}
+		sc.listA, sc.listB = undecided, overlap
 		var label int
 		if len(overlap) > 0 && rng.Intn(2) == 1 {
 			// Merge into the subgraph of a random decided member.
@@ -161,7 +211,7 @@ func crossoverPartition(g *graph.Graph, rng *rand.Rand, dad, mom *partition.Part
 		}
 		for _, m := range undecided {
 			assign[m] = label
-			decided[m] = true
+			decided.Set(m)
 		}
 	}
 	p, err := partition.From(g, assign)
@@ -169,6 +219,12 @@ func crossoverPartition(g *graph.Graph, rng *rand.Rand, dad, mom *partition.Part
 		return dad.Clone()
 	}
 	return p
+}
+
+// CrossoverPartition exposes the customized crossover for callers outside the
+// GA loop (benchmarks, alternative optimizers pairing Cocco's operators).
+func CrossoverPartition(g *graph.Graph, rng *rand.Rand, dad, mom *partition.Partition) *partition.Partition {
+	return crossoverPartition(g, rng, dad, mom)
 }
 
 // crossoverMem averages the parents' capacities and rounds to the nearest
@@ -190,16 +246,20 @@ func crossoverMem(ms MemSearch, a, b hw.MemConfig) hw.MemConfig {
 // neighbors or to a fresh subgraph (Figure 9c). Returns the input partition
 // unchanged if no valid move is found within a few attempts.
 func mutateModifyNode(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partition.Partition {
+	sc := getOpScratch(g.Len(), p.NumSubgraphs()+1)
+	defer putOpScratch(sc)
 	nodes := g.ComputeIDs()
 	for attempt := 0; attempt < 4; attempt++ {
 		u := nodes[rng.Intn(len(nodes))]
 		// Candidate targets: subgraphs of u's neighbors, plus a new one.
-		seen := map[int]bool{p.Of(u): true}
-		var targets []int
+		seen := sc.labels
+		seen.Reset()
+		seen.Set(p.Of(u))
+		targets := sc.targets[:0]
 		addTarget := func(n int) {
 			s := p.Of(n)
-			if s != partition.Unassigned && !seen[s] {
-				seen[s] = true
+			if s != partition.Unassigned && !seen.Has(s) {
+				seen.Set(s)
 				targets = append(targets, s)
 			}
 		}
@@ -210,6 +270,7 @@ func mutateModifyNode(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *p
 			addTarget(int(n))
 		}
 		targets = append(targets, p.NumSubgraphs()) // fresh subgraph
+		sc.targets = targets
 		t := targets[rng.Intn(len(targets))]
 		if q, err := p.TryModifyNode(u, t); err == nil {
 			return q
@@ -221,11 +282,14 @@ func mutateModifyNode(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *p
 // mutateSplit splits a random multi-node subgraph into two parts along a
 // random connected region (Figure 9d).
 func mutateSplit(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partition.Partition {
-	cands := multiNodeSubgraphs(p)
+	sc := getOpScratch(g.Len(), p.NumSubgraphs()+1)
+	cands := multiNodeSubgraphs(p, sc)
 	if len(cands) == 0 {
+		putOpScratch(sc)
 		return p
 	}
 	s := cands[rng.Intn(len(cands))]
+	putOpScratch(sc)
 	if q, err := splitRandom(g, rng, p, s); err == nil {
 		return q
 	}
@@ -239,9 +303,11 @@ func mutateMerge(g *graph.Graph, rng *rand.Rand, p *partition.Partition) *partit
 	if p.NumSubgraphs() < 2 {
 		return p
 	}
+	sc := getOpScratch(g.Len(), p.NumSubgraphs()+1)
+	defer putOpScratch(sc)
 	for attempt := 0; attempt < 4; attempt++ {
 		a := rng.Intn(p.NumSubgraphs())
-		bs := quotientNeighbors(g, p, a)
+		bs := quotientNeighbors(g, p, a, sc)
 		if len(bs) == 0 {
 			continue
 		}
@@ -273,20 +339,27 @@ func mutateDSE(rng *rand.Rand, ms MemSearch, sigmaSteps float64, m hw.MemConfig)
 // splitRandom splits subgraph s of p into a random connected region and the
 // remainder (the remainder's components are separated by the repair step).
 func splitRandom(g *graph.Graph, rng *rand.Rand, p *partition.Partition, s int) (*partition.Partition, error) {
-	members := p.Members(s)
+	sc := getOpScratch(g.Len(), 1)
+	defer putOpScratch(sc)
+	members := p.AppendMembers(sc.members[:0], s)
+	sc.members = members
 	if len(members) < 2 {
 		return p, nil
 	}
-	inSub := make(map[int]bool, len(members))
+	inSub := sc.inSub
+	inSub.Reset()
 	for _, id := range members {
-		inSub[id] = true
+		inSub.Set(id)
 	}
 	// Grow a connected region of random target size from a random seed.
 	target := 1 + rng.Intn(len(members)-1)
 	seed := members[rng.Intn(len(members))]
-	region := map[int]bool{seed: true}
-	frontier := []int{seed}
-	for len(region) < target && len(frontier) > 0 {
+	region := sc.nodes
+	region.Reset()
+	region.Set(seed)
+	regionLen := 1
+	frontier := append(sc.frontier[:0], seed)
+	for regionLen < target && len(frontier) > 0 {
 		i := rng.Intn(len(frontier))
 		u := frontier[i]
 		frontier[i] = frontier[len(frontier)-1]
@@ -295,61 +368,83 @@ func splitRandom(g *graph.Graph, rng *rand.Rand, p *partition.Partition, s int) 
 		// seeded region growth is unchanged.
 		for _, p := range g.PredIDs(u) {
 			v := int(p)
-			if inSub[v] && !region[v] {
-				region[v] = true
+			if inSub.Has(v) && !region.Has(v) {
+				region.Set(v)
+				regionLen++
 				frontier = append(frontier, v)
-				if len(region) >= target {
+				if regionLen >= target {
 					break
 				}
 			}
 		}
 		for _, s := range g.SuccIDs(u) {
 			v := int(s)
-			if len(region) >= target {
+			if regionLen >= target {
 				break
 			}
-			if inSub[v] && !region[v] {
-				region[v] = true
+			if inSub.Has(v) && !region.Has(v) {
+				region.Set(v)
+				regionLen++
 				frontier = append(frontier, v)
 			}
 		}
 	}
-	var partA, partB []int
+	sc.frontier = frontier
+	partA, partB := sc.listA[:0], sc.listB[:0]
 	for _, id := range members {
-		if region[id] {
+		if region.Has(id) {
 			partA = append(partA, id)
 		} else {
 			partB = append(partB, id)
 		}
 	}
+	sc.listA, sc.listB = partA, partB
 	if len(partA) == 0 || len(partB) == 0 {
 		return p, nil
 	}
-	return p.TrySplit(s, [][]int{partA, partB})
+	sc.parts = append(sc.parts[:0], partA, partB)
+	return p.TrySplit(s, sc.parts)
 }
 
-// multiNodeSubgraphs lists subgraph ids with at least two members.
-func multiNodeSubgraphs(p *partition.Partition) []int {
-	var out []int
-	for s, members := range p.Subgraphs() {
-		if len(members) >= 2 {
+// multiNodeSubgraphs lists subgraph ids with at least two members, ascending,
+// into sc.targets.
+func multiNodeSubgraphs(p *partition.Partition, sc *opScratch) []int {
+	counts := sc.counts
+	if cap(counts) < p.NumSubgraphs() {
+		counts = make([]int32, p.NumSubgraphs())
+	}
+	counts = counts[:p.NumSubgraphs()]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, id := range p.Graph().ComputeIDs() {
+		counts[p.Of(id)]++
+	}
+	sc.counts = counts
+	out := sc.targets[:0]
+	for s, c := range counts {
+		if c >= 2 {
 			out = append(out, s)
 		}
 	}
+	sc.targets = out
 	return out
 }
 
 // quotientNeighbors lists subgraphs connected to s by at least one graph
-// edge, in ascending order.
-func quotientNeighbors(g *graph.Graph, p *partition.Partition, s int) []int {
-	seen := map[int]bool{}
+// edge, in ascending order, into sc.targets.
+func quotientNeighbors(g *graph.Graph, p *partition.Partition, s int, sc *opScratch) []int {
+	seen := sc.labels
+	seen.Reset()
+	members := p.AppendMembers(sc.members[:0], s)
+	sc.members = members
 	mark := func(v int) {
 		t := p.Of(v)
 		if t != partition.Unassigned && t != s {
-			seen[t] = true
+			seen.Set(t)
 		}
 	}
-	for _, u := range p.Members(s) {
+	for _, u := range members {
 		for _, v := range g.PredIDs(u) {
 			mark(int(v))
 		}
@@ -357,10 +452,12 @@ func quotientNeighbors(g *graph.Graph, p *partition.Partition, s int) []int {
 			mark(int(v))
 		}
 	}
-	out := make([]int, 0, len(seen))
-	for t := range seen {
-		out = append(out, t)
+	out := sc.targets[:0]
+	for t := 0; t < p.NumSubgraphs(); t++ {
+		if seen.Has(t) {
+			out = append(out, t)
+		}
 	}
-	sort.Ints(out)
+	sc.targets = out
 	return out
 }

@@ -1,0 +1,48 @@
+package core
+
+// Pooled scratch for the candidate-generation helpers. The operator draw
+// logic (splitRandom, quotientNeighbors, crossoverPartition, RandomPartition,
+// mutate*) used to allocate transient maps and slices on every draw; the
+// per-goroutine opScratch replaces them with epoch-stamped graph.Marks sets
+// and reusable slices. Draw sequences are unchanged: the scratch only swaps
+// the set/list representations, never the iteration or RNG order.
+
+import (
+	"sync"
+
+	"cocco/internal/graph"
+)
+
+type opScratch struct {
+	nodes  *graph.Marks // node-space set (split region / crossover decided)
+	inSub  *graph.Marks // node-space set (subgraph membership)
+	labels *graph.Marks // label-space set (neighbor/target dedup)
+
+	members  []int   // AppendMembers buffer
+	frontier []int   // region growth frontier
+	listA    []int   // split part A / crossover undecided
+	listB    []int   // split part B / crossover overlap
+	parts    [][]int // TrySplit argument buffer
+	targets  []int   // modify-node candidate targets / quotient neighbors
+	assign   []int   // RandomPartition / crossover assignment buffer
+	counts   []int32 // per-label member counts (multiNodeSubgraphs)
+}
+
+var opScratchPool = sync.Pool{New: func() any {
+	return &opScratch{
+		nodes:  graph.NewMarks(0),
+		inSub:  graph.NewMarks(0),
+		labels: graph.NewMarks(0),
+	}
+}}
+
+// getOpScratch returns a scratch sized for graph g (n nodes, labels < lab).
+func getOpScratch(n, lab int) *opScratch {
+	sc := opScratchPool.Get().(*opScratch)
+	sc.nodes.Grow(n)
+	sc.inSub.Grow(n)
+	sc.labels.Grow(lab)
+	return sc
+}
+
+func putOpScratch(sc *opScratch) { opScratchPool.Put(sc) }

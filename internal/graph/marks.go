@@ -30,6 +30,20 @@ func (m *Marks) Reset() {
 	}
 }
 
+// Grow extends the Marks to hold ids in [0, n) if it cannot already.
+// Existing membership is preserved (new slots start empty: the zero stamp
+// never equals a live epoch). Scratch workspaces reuse one Marks across
+// graphs and label spaces of different sizes via Grow instead of
+// re-allocating a fitted set per use.
+func (m *Marks) Grow(n int) {
+	if n <= len(m.stamp) {
+		return
+	}
+	grown := make([]uint32, n)
+	copy(grown, m.stamp)
+	m.stamp = grown
+}
+
 // Set adds id to the set.
 func (m *Marks) Set(id int) { m.stamp[id] = m.epoch }
 

@@ -138,6 +138,91 @@ func FuzzPartitionOps(f *testing.F) {
 	})
 }
 
+// FuzzOpsWorkspace drives random op streams through ONE reused Ops workspace
+// and destination chain — the GA's steady-state usage pattern. Beyond the
+// per-op invariants of FuzzPartitionOps it specifically hunts scratch-reuse
+// bugs: stale epoch marks, under-grown buffers when the graph or label space
+// changes between calls, and destination recycling after rejected moves.
+func FuzzOpsWorkspace(f *testing.F) {
+	f.Add(int64(3), []byte{0, 1, 2, 2, 1, 0, 0, 1})
+	f.Add(int64(11), []byte{2, 0, 2, 0, 2, 0, 1, 1, 1})
+	f.Add(int64(29), []byte{1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		o := partition.NewOps()
+		// Two graphs of different sizes, alternated mid-stream, so the
+		// workspace must regrow correctly.
+		graphs := []*graph.Graph{
+			testutil.RandomGraph(seed%8, 10+int(uint64(seed)%10)),
+			testutil.RandomGraph(seed%8+100, 24+int(uint64(seed)%12)),
+		}
+		for gi, g := range graphs {
+			rng := rand.New(rand.NewSource(seed + int64(gi)))
+			p := partition.Singletons(g)
+			tagHandles(p)
+			nodes := g.ComputeNodes()
+			var spare *partition.Partition // retired states recycled as destinations
+			for _, b := range ops {
+				var q *partition.Partition
+				var err error
+				var op string
+				switch b % 3 {
+				case 0:
+					op = "ModifyNodeInto"
+					u := nodes[rng.Intn(len(nodes))]
+					q, err = o.ModifyNodeInto(spare, p, u, rng.Intn(p.NumSubgraphs()+1))
+				case 1:
+					op = "SplitInto"
+					s := rng.Intn(p.NumSubgraphs())
+					members := p.Members(s)
+					if len(members) < 2 {
+						continue
+					}
+					var a, bp []int
+					for _, id := range members {
+						if rng.Intn(2) == 0 {
+							a = append(a, id)
+						} else {
+							bp = append(bp, id)
+						}
+					}
+					if len(a) == 0 || len(bp) == 0 {
+						continue
+					}
+					q, err = o.SplitInto(spare, p, s, [][]int{a, bp})
+				default:
+					op = "MergeInto"
+					if p.NumSubgraphs() < 2 {
+						continue
+					}
+					x := rng.Intn(p.NumSubgraphs())
+					y := rng.Intn(p.NumSubgraphs())
+					if x == y {
+						continue
+					}
+					q, err = o.MergeInto(spare, p, x, y)
+				}
+				if err != nil {
+					// Rejected move: the receiver must be unchanged, and the
+					// destination (if any) stays with the workspace.
+					spare = nil
+					checkInvariants(t, g, p, op+"(rejected receiver)")
+					continue
+				}
+				checkInvariants(t, g, q, op)
+				spare = nil
+				if q != p {
+					spare = p // recycle the retired state as the next destination
+				}
+				p = q
+				tagHandles(p)
+			}
+		}
+	})
+}
+
 // decodeMemberKey unpacks a canonical member key back into ids.
 func decodeMemberKey(key string) []int {
 	ids := make([]int, 0, len(key)/4)

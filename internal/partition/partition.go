@@ -38,6 +38,34 @@ type Partition struct {
 	// partition must not trigger fills concurrently with other writers).
 	keys  []string
 	costs []any
+
+	// hash caches AssignHash (0 = not yet computed). The operator pipeline
+	// fills it for free during normalize's final relabel pass; Clone copies
+	// it, so un-mutated offspring — exactly the duplicates a memo catches —
+	// hash in O(1).
+	hash uint64
+}
+
+// hashPrime/hashOffset are the FNV-1a constants AssignHash folds labels with.
+const (
+	hashPrime  = 1099511628211
+	hashOffset = 14695981039346656037
+)
+
+// AssignHash returns a 64-bit content hash of the assignment vector (labels
+// folded FNV-1a style, Unassigned as 0xFFFFFFFF), for memo tables that
+// verify matches exactly and only need a cheap discriminator. Computed
+// lazily and cached; partitions produced by the operator pipeline carry it
+// precomputed. Single-writer like the other caches.
+func (p *Partition) AssignHash() uint64 {
+	if p.hash == 0 {
+		h := uint64(hashOffset)
+		for _, a := range p.assign {
+			h = (h ^ uint64(uint32(a))) * hashPrime
+		}
+		p.hash = h
+	}
+	return p.hash
 }
 
 // MemberKey packs a sorted member-id slice into the canonical subgraph cache
@@ -123,41 +151,6 @@ func (p *Partition) SetCostHandle(s int, h any) {
 	p.costs[s] = h
 }
 
-// carryFrom copies the key/cost caches from the parent partition p for every
-// subgraph whose member set is provably unchanged: ops pass the parent labels
-// they touched, and every other parent subgraph kept exactly its members
-// (repair only rewrites members of touched subgraphs, and normalize only
-// renumbers), so its new label is found through any member node.
-func (q *Partition) carryFrom(p *Partition, touched ...int) {
-	if p.keys == nil && p.costs == nil {
-		return
-	}
-	q.keys = make([]string, q.count)
-	q.costs = make([]any, q.count)
-	for id, a := range p.assign {
-		if a < 0 {
-			continue
-		}
-		skip := false
-		for _, t := range touched {
-			if a == t {
-				skip = true
-				break
-			}
-		}
-		if skip {
-			continue
-		}
-		n := q.assign[id]
-		if p.keys != nil {
-			q.keys[n] = p.keys[a]
-		}
-		if p.costs != nil {
-			q.costs[n] = p.costs[a]
-		}
-	}
-}
-
 // Singletons returns the partition with every compute node in its own
 // subgraph, numbered in topological order (the greedy baseline's starting
 // point).
@@ -203,13 +196,50 @@ func From(g *graph.Graph, assign []int) (*Partition, error) {
 			return nil, fmt.Errorf("partition: compute node %d unassigned", n.ID)
 		}
 	}
-	if err := p.normalize(); err != nil {
+	p.densifyLabels()
+	o := getOps()
+	defer putOps(o)
+	if err := o.normalize(p); err != nil {
 		return nil, err
 	}
-	if err := p.Validate(); err != nil {
+	if err := o.validate(p); err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+// densifyLabels sets p.count from the raw assignment, remapping the labels
+// into [0, #labels) first when the raw label space is out of proportion to
+// the graph: the dense operator pipeline sizes its scratch by max label + 1,
+// which is fine for every internal producer (labels stay below the node
+// count) but must not let an arbitrary From/FromRepaired input — e.g. a
+// hand-edited partition JSON with one label of 2^33 — demand gigabytes. The
+// remap preserves first-appearance order; the final labels come from the
+// quotient schedule order regardless.
+func (p *Partition) densifyLabels() {
+	maxL := -1
+	for _, a := range p.assign {
+		if a > maxL {
+			maxL = a
+		}
+	}
+	if maxL < 2*len(p.assign)+2 {
+		p.count = maxL + 1
+		return
+	}
+	remap := make(map[int]int)
+	for id, a := range p.assign {
+		if a < 0 {
+			continue
+		}
+		d, ok := remap[a]
+		if !ok {
+			d = len(remap)
+			remap[a] = d
+		}
+		p.assign[id] = d
+	}
+	p.count = len(remap)
 }
 
 // FromRepaired builds a partition from an explicit assignment like From, but
@@ -228,7 +258,13 @@ func FromRepaired(g *graph.Graph, assign []int) (*Partition, error) {
 			return nil, fmt.Errorf("partition: compute node %d unassigned", n.ID)
 		}
 	}
-	return p.repair()
+	p.densifyLabels()
+	o := getOps()
+	defer putOps(o)
+	if err := o.repair(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Graph returns the underlying graph.
@@ -247,7 +283,7 @@ func (p *Partition) Assignment() []int { return append([]int(nil), p.assign...) 
 // backing arrays (the interned keys and handles themselves are shared; they
 // are immutable), so the clone's owner can fill its caches independently.
 func (p *Partition) Clone() *Partition {
-	q := &Partition{g: p.g, assign: append([]int(nil), p.assign...), count: p.count}
+	q := &Partition{g: p.g, assign: append([]int(nil), p.assign...), count: p.count, hash: p.hash}
 	if p.keys != nil {
 		q.keys = append([]string(nil), p.keys...)
 	}
@@ -259,13 +295,20 @@ func (p *Partition) Clone() *Partition {
 
 // Members returns the node ids of subgraph s in ascending order.
 func (p *Partition) Members(s int) []int {
-	var m []int
+	return p.AppendMembers(nil, s)
+}
+
+// AppendMembers appends the node ids of subgraph s to dst in ascending order
+// and returns it — Members without the per-call allocation, for callers that
+// scan subgraphs in a loop (operator helpers, the greedy baseline). Pass
+// dst[:0] to reuse a scratch buffer.
+func (p *Partition) AppendMembers(dst []int, s int) []int {
 	for id, a := range p.assign {
 		if a == s {
-			m = append(m, id)
+			dst = append(dst, id)
 		}
 	}
-	return m
+	return dst
 }
 
 // Subgraphs returns all subgraphs' members, indexed by subgraph id.
@@ -282,132 +325,32 @@ func (p *Partition) Subgraphs() [][]int {
 // Key returns a canonical string identity of the partition, usable as a map
 // key for memoization and dedup.
 func (p *Partition) Key() string {
-	b := make([]byte, 0, len(p.assign)*2)
+	return string(p.AppendKey(make([]byte, 0, len(p.assign)*4)))
+}
+
+// AppendKey appends the canonical identity bytes of the partition to dst and
+// returns it — Key without the string conversion, for callers building memo
+// keys into a reusable scratch buffer. Each label is packed into 4 bytes
+// (Unassigned as 0xFFFFFFFF); labels outside [0, 2^32-1) would alias another
+// partition's key, so they panic like AppendMemberKey instead of silently
+// colliding (the historical 2-byte packing aliased partitions with ≥ 2^16
+// subgraphs, and Unassigned with label 0xFFFF).
+func (p *Partition) AppendKey(dst []byte) []byte {
 	for _, a := range p.assign {
-		b = append(b, byte(a>>8), byte(a))
+		if a != Unassigned && (a < 0 || uint64(a) >= math.MaxUint32) {
+			panic(fmt.Sprintf("partition: subgraph label %d outside the 32-bit key range", a))
+		}
+		dst = append(dst, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
 	}
-	return string(b)
+	return dst
 }
 
 // Validate checks both validity conditions: precedence on every edge between
 // compute nodes and weak connectivity of every subgraph.
 func (p *Partition) Validate() error {
-	for _, u := range p.g.ComputeIDs() {
-		for _, v := range p.g.Succ(u) {
-			if p.assign[v] == Unassigned {
-				continue
-			}
-			if p.assign[u] > p.assign[v] {
-				return fmt.Errorf("partition: edge %d->%d violates precedence (P=%d > %d)",
-					u, v, p.assign[u], p.assign[v])
-			}
-		}
-	}
-	for s, members := range p.Subgraphs() {
-		if len(members) == 0 {
-			return fmt.Errorf("partition: subgraph %d empty", s)
-		}
-		set := make(map[int]bool, len(members))
-		for _, id := range members {
-			set[id] = true
-		}
-		if !p.g.IsConnected(set) {
-			return fmt.Errorf("partition: subgraph %d not connected: %v", s, members)
-		}
-	}
-	return nil
-}
-
-// normalize renumbers subgraphs into a schedule order consistent with the
-// quotient DAG (subgraph-level dependencies). Returns an error if the
-// quotient graph is cyclic (the partition cannot be scheduled).
-func (p *Partition) normalize() error {
-	// Map old labels to dense indices.
-	oldIDs := map[int]int{}
-	for _, a := range p.assign {
-		if a >= 0 {
-			if _, ok := oldIDs[a]; !ok {
-				oldIDs[a] = len(oldIDs)
-			}
-		}
-	}
-	n := len(oldIDs)
-	dense := make([]int, len(p.assign))
-	for id, a := range p.assign {
-		if a < 0 {
-			dense[id] = Unassigned
-		} else {
-			dense[id] = oldIDs[a]
-		}
-	}
-	// Quotient edges.
-	adj := make([]map[int]bool, n)
-	indeg := make([]int, n)
-	for i := range adj {
-		adj[i] = map[int]bool{}
-	}
-	for _, u := range p.g.ComputeIDs() {
-		su := dense[u]
-		for _, v := range p.g.Succ(u) {
-			sv := dense[v]
-			if sv == Unassigned || sv == su {
-				continue
-			}
-			if !adj[su][sv] {
-				adj[su][sv] = true
-				indeg[sv]++
-			}
-		}
-	}
-	// Kahn's algorithm; among ready subgraphs pick the one containing the
-	// smallest node id for determinism.
-	minNode := make([]int, n)
-	for i := range minNode {
-		minNode[i] = int(^uint(0) >> 1)
-	}
-	for id, s := range dense {
-		if s >= 0 && id < minNode[s] {
-			minNode[s] = id
-		}
-	}
-	ready := []int{}
-	for s := 0; s < n; s++ {
-		if indeg[s] == 0 {
-			ready = append(ready, s)
-		}
-	}
-	order := make([]int, 0, n)
-	newID := make([]int, n)
-	for len(ready) > 0 {
-		best := 0
-		for i := 1; i < len(ready); i++ {
-			if minNode[ready[i]] < minNode[ready[best]] {
-				best = i
-			}
-		}
-		s := ready[best]
-		ready = append(ready[:best], ready[best+1:]...)
-		newID[s] = len(order)
-		order = append(order, s)
-		for t := range adj[s] {
-			indeg[t]--
-			if indeg[t] == 0 {
-				ready = append(ready, t)
-			}
-		}
-	}
-	if len(order) != n {
-		return fmt.Errorf("partition: quotient graph is cyclic (unschedulable)")
-	}
-	for id, s := range dense {
-		if s == Unassigned {
-			p.assign[id] = Unassigned
-		} else {
-			p.assign[id] = newID[s]
-		}
-	}
-	p.count = n
-	return nil
+	o := getOps()
+	defer putOps(o)
+	return o.validate(p)
 }
 
 // --- mutation primitives (used by the GA, SA, and repair) -----------------
@@ -415,125 +358,33 @@ func (p *Partition) normalize() error {
 // TryModifyNode reassigns node u to subgraph target (an existing id or
 // p.NumSubgraphs() for a fresh subgraph) and returns the repaired, validated
 // result, or an error if the move is unschedulable. The receiver is not
-// modified.
+// modified. Wraps Ops.ModifyNodeInto on a pooled workspace.
 func (p *Partition) TryModifyNode(u, target int) (*Partition, error) {
-	if p.assign[u] == Unassigned {
-		return nil, fmt.Errorf("partition: cannot move input node %d", u)
-	}
-	if target < 0 || target > p.count {
-		return nil, fmt.Errorf("partition: target subgraph %d out of range", target)
-	}
-	src := p.assign[u]
-	q := p.Clone()
-	q.assign[u] = target
-	if target == p.count {
-		q.count++
-	}
-	q, err := q.repair()
-	if err != nil {
-		return nil, err
-	}
-	q.carryFrom(p, src, target)
-	return q, nil
+	o := getOps()
+	q, err := o.ModifyNodeInto(nil, p, u, target)
+	putOps(o)
+	return q, err
 }
 
 // TrySplit splits subgraph s into the given parts (a disjoint cover of its
 // members) and returns the repaired result. The receiver is not modified.
+// Wraps Ops.SplitInto on a pooled workspace.
 func (p *Partition) TrySplit(s int, parts [][]int) (*Partition, error) {
-	members := p.Members(s)
-	seen := map[int]bool{}
-	total := 0
-	for _, part := range parts {
-		for _, id := range part {
-			if p.assign[id] != s {
-				return nil, fmt.Errorf("partition: node %d not in subgraph %d", id, s)
-			}
-			if seen[id] {
-				return nil, fmt.Errorf("partition: node %d in multiple parts", id)
-			}
-			seen[id] = true
-			total++
-		}
-	}
-	if total != len(members) {
-		return nil, fmt.Errorf("partition: parts cover %d of %d members", total, len(members))
-	}
-	q := p.Clone()
-	for i, part := range parts {
-		label := s
-		if i > 0 {
-			label = q.count
-			q.count++
-		}
-		for _, id := range part {
-			q.assign[id] = label
-		}
-	}
-	q, err := q.repair()
-	if err != nil {
-		return nil, err
-	}
-	q.carryFrom(p, s)
-	return q, nil
+	o := getOps()
+	q, err := o.SplitInto(nil, p, s, parts)
+	putOps(o)
+	return q, err
 }
 
 // TryMerge merges subgraphs a and b and returns the repaired result, or an
 // error if the merge is unschedulable (e.g. a path a→c→b through a third
 // subgraph) — the paper's merge-subgraph mutation with validity guarantee.
-// The receiver is not modified.
+// The receiver is not modified. Wraps Ops.MergeInto on a pooled workspace.
 func (p *Partition) TryMerge(a, b int) (*Partition, error) {
-	if a == b {
-		return nil, fmt.Errorf("partition: merging subgraph %d with itself", a)
-	}
-	if a >= p.count || b >= p.count || a < 0 || b < 0 {
-		return nil, fmt.Errorf("partition: merge ids out of range")
-	}
-	q := p.Clone()
-	for id, s := range q.assign {
-		if s == b {
-			q.assign[id] = a
-		}
-	}
-	q, err := q.repair()
-	if err != nil {
-		return nil, err
-	}
-	q.carryFrom(p, a, b)
-	return q, nil
-}
-
-// repair makes the partition valid if possible: split disconnected
-// subgraphs into weakly connected components, then renumber via the quotient
-// topological order. Returns an error only if the quotient graph is cyclic.
-func (p *Partition) repair() (*Partition, error) {
-	next := 0
-	for _, a := range p.assign {
-		if a >= next {
-			next = a + 1
-		}
-	}
-	for s := 0; s < next; s++ {
-		members := p.Members(s)
-		if len(members) <= 1 {
-			continue
-		}
-		set := make(map[int]bool, len(members))
-		for _, id := range members {
-			set[id] = true
-		}
-		comps := p.g.ConnectedComponents(set)
-		for i := 1; i < len(comps); i++ {
-			for _, id := range comps[i] {
-				p.assign[id] = next
-			}
-			next++
-		}
-	}
-	p.count = next
-	if err := p.normalize(); err != nil {
-		return nil, err
-	}
-	return p, nil
+	o := getOps()
+	q, err := o.MergeInto(nil, p, a, b)
+	putOps(o)
+	return q, err
 }
 
 // CrossEdges returns the tensors crossing subgraph boundaries: for each
@@ -541,14 +392,17 @@ func (p *Partition) repair() (*Partition, error) {
 // output), the set of consuming subgraphs. Used by cost models to decide
 // which activations hit DRAM.
 func (p *Partition) CrossEdges() map[int][]int {
+	o := getOps()
+	defer putOps(o)
+	o.labels.Grow(p.count)
 	out := map[int][]int{}
 	for _, u := range p.g.ComputeIDs() {
 		su := p.assign[u]
-		seen := map[int]bool{}
-		for _, v := range p.g.Succ(u) {
-			sv := p.assign[v]
-			if sv != su && sv != Unassigned && !seen[sv] {
-				seen[sv] = true
+		o.labels.Reset()
+		for _, v := range p.g.SuccIDs(u) {
+			sv := p.assign[int(v)]
+			if sv != su && sv != Unassigned && !o.labels.Has(sv) {
+				o.labels.Set(sv)
 				out[u] = append(out[u], sv)
 			}
 		}

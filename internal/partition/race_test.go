@@ -1,0 +1,7 @@
+//go:build race
+
+package partition
+
+// raceEnabled skips allocation pins under the race detector, which disables
+// sync.Pool reuse at random and inflates AllocsPerRun counts.
+const raceEnabled = true
