@@ -18,6 +18,12 @@
 // Cold results are compared against the recorded pre-overhaul baseline (the
 // PR-2 tree, commit e055771, measured on the reference dev box) so the
 // speedup of the dense-indexing overhaul is part of the report.
+//
+// A fourth workload, search_orchestrator (-orch, BENCH_searchorch.json),
+// measures the island-model orchestrator: aggregate samples/s as the same
+// per-island budget runs on 1, 2, and 4 islands over a shared evaluator.
+// The scaling column is hardware-dependent — island steps overlap across
+// cores — so the report records the host CPU count alongside it.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"cocco/internal/hw"
 	"cocco/internal/models"
 	"cocco/internal/partition"
+	"cocco/internal/search"
 	"cocco/internal/tiling"
 )
 
@@ -164,6 +171,67 @@ type searchReport struct {
 	Baseline string        `json:"baseline"`
 	Mutation []mutationRow `json:"mutation_ops"`
 	GA       []searchGARow `json:"ga_search"`
+}
+
+// orchRow is one (model, island count) of the search_orchestrator workload.
+type orchRow struct {
+	Model         string  `json:"model"`
+	Islands       int     `json:"islands"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	// SpeedupVs1 is aggregate samples/s relative to the same model's
+	// single-island row.
+	SpeedupVs1 float64 `json:"speedup_vs_1,omitempty"`
+	// Migrations is the number of ring barriers the run executed.
+	Migrations int `json:"migrations"`
+}
+
+// orchReport is the search_orchestrator workload file (BENCH_searchorch.json).
+type orchReport struct {
+	Bench  string    `json:"bench"`
+	Go     string    `json:"go"`
+	GOOS   string    `json:"goos"`
+	GOARCH string    `json:"goarch"`
+	NumCPU int       `json:"num_cpu"`
+	Note   string    `json:"note"`
+	Rows   []orchRow `json:"search_orchestrator"`
+}
+
+// orchWorkload mirrors BenchmarkSearchOrchestrator: K islands, each with
+// the full per-island sample budget, over one shared fresh evaluator per
+// iteration.
+func orchWorkload(model string, samples, islands int) (orchRow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return orchRow{}, err
+	}
+	mem := defaultMem()
+	migrations := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+			_, stats, err := search.Run(ev, search.Options{
+				Core: core.Options{
+					Seed: 7, Population: 50, MaxSamples: samples,
+					Objective: eval.Objective{Metric: eval.MetricEMA},
+					Mem:       core.MemSearch{Fixed: mem},
+				},
+				Islands:      islands,
+				MigrateEvery: 5,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			migrations = stats.Migrations
+		}
+	})
+	return orchRow{
+		Model:         model,
+		Islands:       islands,
+		SamplesPerSec: float64(islands*samples) * float64(res.N) / res.T.Seconds(),
+		NsPerOp:       float64(res.NsPerOp()),
+		Migrations:    migrations,
+	}, nil
 }
 
 func defaultMem() hw.MemConfig {
@@ -372,6 +440,7 @@ func searchGAWorkload(model string, samples int, memo bool) (searchGARow, error)
 func main() {
 	out := flag.String("o", "BENCH_coldpath.json", "output path")
 	searchOut := flag.String("so", "BENCH_searchpath.json", "search_path output path (empty to skip)")
+	orchOut := flag.String("orch", "BENCH_searchorch.json", "search_orchestrator output path (empty to skip)")
 	quick := flag.Bool("quick", false, "reduced budgets for CI smoke runs")
 	flag.Parse()
 
@@ -468,4 +537,48 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *searchOut)
+
+	if *orchOut == "" {
+		return
+	}
+	orep := orchReport{
+		Bench:  "search_orchestrator",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Note:   "aggregate samples/s, K islands x the same per-island budget over a shared evaluator; scaling is CPU-bound (island steps overlap across cores)",
+	}
+	for _, model := range searchGAModels {
+		var base float64
+		for _, islands := range []int{1, 2, 4} {
+			row, err := orchWorkload(model, gaSamples, islands)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: orchestrator %s: %v\n", model, err)
+				os.Exit(1)
+			}
+			if islands == 1 {
+				base = row.SamplesPerSec
+				fmt.Printf("orch  %-12s islands=%d %10.0f samples/s  (baseline, %d migrations)\n",
+					row.Model, row.Islands, row.SamplesPerSec, row.Migrations)
+			} else {
+				if base > 0 {
+					row.SpeedupVs1 = row.SamplesPerSec / base
+				}
+				fmt.Printf("orch  %-12s islands=%d %10.0f samples/s  (%.2fx vs 1 island, %d migrations)\n",
+					row.Model, row.Islands, row.SamplesPerSec, row.SpeedupVs1, row.Migrations)
+			}
+			orep.Rows = append(orep.Rows, row)
+		}
+	}
+	obuf, err := json.MarshalIndent(orep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: marshal orchestrator: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*orchOut, append(obuf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: write orchestrator: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *orchOut)
 }

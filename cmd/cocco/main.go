@@ -1,11 +1,16 @@
 // Command cocco runs a single Cocco search: graph partition for a fixed
-// memory configuration, or full hardware-mapping co-exploration.
+// memory configuration, or full hardware-mapping co-exploration. With
+// -islands > 1 the run becomes an island-model search — several GA
+// populations exchanging genomes by ring migration — and -checkpoint /
+// -resume make long runs interruptible.
 //
 // Examples:
 //
 //	cocco -model resnet50 -metric ema -samples 50000
 //	cocco -model googlenet -metric energy -alpha 0.002 -search -kind shared
 //	cocco -model nasnet -cores 4 -batch 8 -search -kind shared
+//	cocco -model resnet152 -islands 4 -migrate-every 5 -checkpoint run.ckpt
+//	cocco -model resnet152 -islands 4 -migrate-every 5 -checkpoint run.ckpt -resume run.ckpt
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"cocco/internal/models"
 	"cocco/internal/partition"
 	"cocco/internal/report"
+	"cocco/internal/search"
 	"cocco/internal/serialize"
 	"cocco/internal/tiling"
 )
@@ -30,21 +36,29 @@ func main() {
 	log.SetPrefix("cocco: ")
 
 	var (
-		model   = flag.String("model", "resnet50", "model name: "+strings.Join(models.Names(), ", "))
-		metric  = flag.String("metric", "energy", "optimization metric: ema | energy")
-		alpha   = flag.Float64("alpha", 0.002, "Formula 2 preference α (0 = partition-only Formula 1)")
-		samples = flag.Int("samples", 50_000, "genome-evaluation budget")
-		popSize = flag.Int("population", 100, "GA population size")
-		seed    = flag.Int64("seed", 42, "random seed")
-		search  = flag.Bool("search", false, "co-explore the memory configuration (DSE)")
-		kind    = flag.String("kind", "separate", "buffer design: separate | shared")
-		glbKB   = flag.Int64("glb", 1024, "global buffer KB (fixed-HW runs; shared capacity for -kind shared)")
-		wgtKB   = flag.Int64("wgt", 1152, "weight buffer KB (fixed-HW separate runs)")
-		cores   = flag.Int("cores", 1, "number of accelerator cores")
-		batch   = flag.Int("batch", 1, "batch size")
-		workers = flag.Int("workers", 0, "evaluation goroutines (0 = all CPUs); results are identical for any value")
-		show    = flag.Int("show", 8, "number of subgraphs to print from the best partition")
-		dump    = flag.String("dump", "", "write the best partition as JSON to this path")
+		model    = flag.String("model", "resnet50", "model name: "+strings.Join(models.Names(), ", "))
+		metric   = flag.String("metric", "energy", "optimization metric: ema | energy")
+		alpha    = flag.Float64("alpha", 0.002, "Formula 2 preference α (0 = partition-only Formula 1)")
+		samples  = flag.Int("samples", 50_000, "genome-evaluation budget per island (total = islands x samples)")
+		popSize  = flag.Int("population", 100, "GA population size")
+		seed     = flag.Int64("seed", 42, "random seed")
+		doSearch = flag.Bool("search", false, "co-explore the memory configuration (DSE)")
+		kind     = flag.String("kind", "separate", "buffer design: separate | shared")
+		glbKB    = flag.Int64("glb", 1024, "global buffer KB (fixed-HW runs; shared capacity for -kind shared)")
+		wgtKB    = flag.Int64("wgt", 1152, "weight buffer KB (fixed-HW separate runs)")
+		cores    = flag.Int("cores", 1, "number of accelerator cores")
+		batch    = flag.Int("batch", 1, "batch size")
+		workers  = flag.Int("workers", 0, "evaluation goroutines (0 = all CPUs); results are identical for any value")
+		show     = flag.Int("show", 8, "number of subgraphs to print from the best partition")
+		dump     = flag.String("dump", "", "write the best partition as JSON to this path")
+
+		islands    = flag.Int("islands", 1, "GA islands; 1 reproduces the plain search bit-for-bit")
+		migEvery   = flag.Int("migrate-every", 5, "generations between ring migrations")
+		migrants   = flag.Int("migrants", 2, "genomes each island sends per migration")
+		scouts     = flag.String("scouts", "", "comma-separated scout islands to add to the ring: sa, greedy")
+		checkpoint = flag.String("checkpoint", "", "write a resumable snapshot to this path at every migration barrier")
+		resume     = flag.String("resume", "", "resume from this snapshot if it exists (same flags required)")
+		maxRounds  = flag.Int("max-rounds", 0, "pause after this many migration rounds (0 = run to completion)")
 	)
 	flag.Parse()
 
@@ -77,7 +91,7 @@ func main() {
 	}
 
 	ms := core.MemSearch{Kind: bufKind}
-	if *search {
+	if *doSearch {
 		ms.Search = true
 		if bufKind == hw.SharedBuffer {
 			ms.Global = hw.PaperSharedRange()
@@ -99,20 +113,47 @@ func main() {
 		g.Name, g.Len(), g.Edges(), report.Bytes(g.TotalWeightBytes()),
 		float64(g.TotalMACs())/1e9)
 
-	best, stats, err := core.Run(ev, core.Options{
-		Seed:       *seed,
-		Workers:    *workers,
-		Population: *popSize,
-		MaxSamples: *samples,
-		Objective:  obj,
-		Mem:        ms,
-	})
+	sopt := search.Options{
+		Core: core.Options{
+			Seed:       *seed,
+			Workers:    *workers,
+			Population: *popSize,
+			MaxSamples: *samples,
+			Objective:  obj,
+			Mem:        ms,
+		},
+		Islands:      *islands,
+		MigrateEvery: *migEvery,
+		Migrants:     *migrants,
+		Checkpoint:   *checkpoint,
+		MaxRounds:    *maxRounds,
+	}
+	if *scouts != "" {
+		for _, s := range strings.Split(*scouts, ",") {
+			switch strings.TrimSpace(s) {
+			case "sa":
+				sopt.Scouts = append(sopt.Scouts, search.ScoutSA)
+			case "greedy":
+				sopt.Scouts = append(sopt.Scouts, search.ScoutGreedy)
+			default:
+				log.Fatalf("unknown scout kind %q (want sa or greedy)", s)
+			}
+		}
+	}
+	best, stats, err := search.RunOrResume(ev, sopt, *resume)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nbest after %d samples (%d feasible, %d generations):\n",
-		stats.Samples, stats.FeasibleSamples, stats.Generations)
+	if stats.Paused {
+		fmt.Printf("\npaused after %d rounds (budget remains; continue with -resume %s)\n",
+			stats.Rounds, *checkpoint)
+	}
+	fmt.Printf("\nbest after %d samples (%d feasible, %d migrations over %d islands):\n",
+		stats.Samples, stats.FeasibleSamples, stats.Migrations, len(stats.IslandStats))
+	if len(stats.IslandStats) > 1 {
+		fmt.Printf("  best found by island %d\n", stats.BestIsland)
+	}
 	fmt.Printf("  memory    %v (total %s)\n", best.Mem, report.Bytes(best.Mem.TotalBytes()))
 	fmt.Printf("  cost      %.6g\n", best.Cost)
 	fmt.Printf("  EMA       %s\n", report.Bytes(best.Res.EMABytes))

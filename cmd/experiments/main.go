@@ -66,7 +66,8 @@ func main() {
 			_, d := experiments.AblationPrefetch(cfg)
 			_, e := experiments.AblationSeeding(cfg)
 			_, f := experiments.AblationDeltaEval(cfg)
-			return a + b + c + d + e + f
+			_, g := experiments.AblationIslands(cfg)
+			return a + b + c + d + e + f + g
 		}},
 		{"bounds", experiments.MinEMABounds},
 	}

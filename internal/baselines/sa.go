@@ -7,6 +7,7 @@ import (
 
 	"cocco/internal/core"
 	"cocco/internal/eval"
+	"cocco/internal/graph"
 )
 
 // SAOptions configures the simulated-annealing co-optimizer (§4.2.4), which
@@ -34,6 +35,14 @@ type SAOptions struct {
 	Trace                  func(core.TracePoint)
 }
 
+// DefaultSAInitialTemp and DefaultSAFinalTemp bound the default geometric
+// cooling schedule, as fractions of the current cost. Exported so the
+// orchestrator's SA scout anneals with the same schedule as this baseline.
+const (
+	DefaultSAInitialTemp = 0.10
+	DefaultSAFinalTemp   = 0.0005
+)
+
 func (o SAOptions) withDefaults() SAOptions {
 	if o.MaxSamples <= 0 {
 		o.MaxSamples = 50_000
@@ -45,10 +54,10 @@ func (o SAOptions) withDefaults() SAOptions {
 		o.Workers = runtime.NumCPU()
 	}
 	if o.InitialTemp == 0 {
-		o.InitialTemp = 0.10
+		o.InitialTemp = DefaultSAInitialTemp
 	}
 	if o.FinalTemp == 0 {
-		o.FinalTemp = 0.0005
+		o.FinalTemp = DefaultSAFinalTemp
 	}
 	return o
 }
@@ -165,39 +174,51 @@ func saChain(ev *eval.Evaluator, opt SAOptions, seed int64, budget int, sink fun
 	cooling := math.Pow(opt.FinalTemp/opt.InitialTemp, 1/float64(maxInt(budget-1, 1)))
 	temp := opt.InitialTemp
 	for s := 2; s <= budget; s++ {
-		cand := cur.Clone()
-		// One random move: a partition mutation, or mutation-DSE when the
-		// hardware is searchable.
-		moves := 3
-		if opt.Mem.Search {
-			moves = 4
-		}
-		if rng.Intn(moves) == 3 {
-			cand.Mem = core.MutateMemConfig(rng, opt.Mem, 2, cand.Mem)
-		} else {
-			cand.P = core.ApplyRandomMutation(ev.Graph(), rng, cand.P)
-		}
-		evaluate(cand, s)
-
-		accept := false
-		switch {
-		case math.IsInf(cand.Cost, 1):
-			// never accept infeasible
-		case cand.Cost <= cur.Cost:
-			accept = true
-		default:
-			rel := (cand.Cost - cur.Cost) / cur.Cost
-			accept = rng.Float64() < math.Exp(-rel/temp)
-		}
-		if accept {
-			cur = cand
-			if cur.Cost < best.Cost {
-				best = cur.Clone()
-			}
+		cur = AnnealStep(ev.Graph(), rng, opt.Mem, cur, temp,
+			func(g *core.Genome) { evaluate(g, s) })
+		if cur.Cost < best.Cost {
+			best = cur.Clone()
 		}
 		temp *= cooling
 	}
 	return best
+}
+
+// AnnealStep advances one simulated-annealing chain by one sample: it draws
+// one random move from cur (a partition mutation, or mutation-DSE when the
+// hardware is searchable), evaluates the candidate through the provided
+// closure, and returns the accepted state — the candidate on improvement or
+// by the Metropolis rule on the relative cost delta at temp, cur otherwise.
+// Infeasible candidates are never accepted, whichever sentinel the caller's
+// cost function uses (math.Inf here, core.InfeasibleCost in the
+// orchestrator's scout — the finite sentinel family is itself ≥
+// core.InfeasibleCost). Shared by saChain and the island orchestrator's SA
+// scout so the two cannot drift apart.
+func AnnealStep(g *graph.Graph, rng *rand.Rand, ms core.MemSearch, cur *core.Genome, temp float64, evaluate func(*core.Genome)) *core.Genome {
+	cand := cur.Clone()
+	moves := 3
+	if ms.Search {
+		moves = 4
+	}
+	if rng.Intn(moves) == 3 {
+		cand.Mem = core.MutateMemConfig(rng, ms, 2, cand.Mem)
+	} else {
+		cand.P = core.ApplyRandomMutation(g, rng, cand.P)
+	}
+	evaluate(cand)
+
+	switch {
+	case cand.Cost >= core.InfeasibleCost:
+		// never accept infeasible
+	case cand.Cost <= cur.Cost:
+		return cand
+	default:
+		rel := (cand.Cost - cur.Cost) / cur.Cost
+		if rng.Float64() < math.Exp(-rel/temp) {
+			return cand
+		}
+	}
+	return cur
 }
 
 var errInfeasibleSA = errSA("baselines: SA found no feasible solution")

@@ -31,8 +31,11 @@ type Stats struct {
 type Optimizer struct {
 	ev  *eval.Evaluator
 	opt Options
+	src *CountingSource
 	rng *rand.Rand
 
+	started bool
+	pop     []*Genome
 	best    *Genome
 	samples int
 	gen     int
@@ -50,7 +53,11 @@ func NewOptimizer(ev *eval.Evaluator, opt Options) (*Optimizer, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	o := &Optimizer{ev: ev, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	// The master RNG runs on a counting source so the optimizer state is
+	// checkpointable as (seed, draws); the wrapped source draws the identical
+	// stream rand.NewSource would.
+	src := NewCountingSource(opt.Seed)
+	o := &Optimizer{ev: ev, opt: opt, src: src, rng: rand.New(src)}
 	if !opt.DisableGenomeMemo {
 		o.memo = newGenomeMemo()
 	}
@@ -68,19 +75,64 @@ func Run(ev *eval.Evaluator, opt Options) (*Genome, *Stats, error) {
 
 // Run executes the search.
 func (o *Optimizer) Run() (*Genome, *Stats, error) {
-	pop := o.initialPopulation()
-	for o.samples < o.opt.MaxSamples {
-		o.gen++
-		offspring := o.makeOffspring(pop)
-		pop = o.selectNext(append(pop, offspring...))
-		o.stats.BestHistory = append(o.stats.BestHistory, o.bestCost())
-		o.stats.Generations = o.gen
+	for o.Step() {
 	}
+	return o.Finish()
+}
+
+// Step advances the search by one unit — the first call builds and scores
+// the initial population, every later call runs one full generation — and
+// reports whether sample budget remains. Driving Step in a loop is exactly
+// Run; the island orchestrator interleaves Steps with migration instead.
+func (o *Optimizer) Step() bool {
+	if !o.started {
+		o.started = true
+		o.pop = o.initialPopulation()
+		return o.samples < o.opt.MaxSamples
+	}
+	if o.samples >= o.opt.MaxSamples {
+		return false
+	}
+	o.gen++
+	offspring := o.makeOffspring(o.pop)
+	o.pop = o.selectNext(append(o.pop, offspring...))
+	o.stats.BestHistory = append(o.stats.BestHistory, o.bestCost())
+	o.stats.Generations = o.gen
+	return o.samples < o.opt.MaxSamples
+}
+
+// Done reports whether the sample budget is exhausted.
+func (o *Optimizer) Done() bool { return o.started && o.samples >= o.opt.MaxSamples }
+
+// Finish closes out the run and returns the best feasible genome found.
+func (o *Optimizer) Finish() (*Genome, *Stats, error) {
 	o.stats.Samples = o.samples
 	if o.best == nil {
 		return nil, &o.stats, fmt.Errorf("core: no feasible genome found in %d samples", o.samples)
 	}
 	return o.best, &o.stats, nil
+}
+
+// Population exposes the current population, sorted ascending by cost as
+// selectNext left it (nil before the first Step). The island orchestrator
+// may replace entries between Steps — migration — but must never mutate a
+// genome in place: committed genomes share partitions with the memo and the
+// best snapshot.
+func (o *Optimizer) Population() []*Genome { return o.pop }
+
+// Best returns the best feasible genome committed so far (nil if none).
+func (o *Optimizer) Best() *Genome { return o.best }
+
+// SamplesUsed reports how many genome evaluations have been committed.
+func (o *Optimizer) SamplesUsed() int { return o.samples }
+
+// StatsSnapshot returns the statistics as Finish would report them at this
+// point, without ending the run (BestHistory is copied).
+func (o *Optimizer) StatsSnapshot() Stats {
+	st := o.stats
+	st.Samples = o.samples
+	st.BestHistory = append([]float64(nil), o.stats.BestHistory...)
+	return st
 }
 
 func (o *Optimizer) bestCost() float64 {
@@ -142,7 +194,33 @@ type candidate struct {
 // parallel runs bit-identical: the draws no longer depend on execution
 // order.
 func ChildSeed(seed int64, index int) int64 {
-	z := uint64(seed) ^ uint64(index)*0x9E3779B97F4A7C15
+	return ChildSeedStream(seed, StreamSamples, index)
+}
+
+// Stream tags name the independent consumers of ChildSeedStream. Every
+// consumer folds its tag into the derivation, so two consumers using the
+// same (run seed, index) pair still draw from uncorrelated streams — GA
+// sample repair and SA restart chains keep the historical untagged stream
+// (StreamSamples is zero, so ChildSeedStream reduces to the original
+// ChildSeed there), while island seeding and migration get their own.
+const (
+	// StreamSamples is the historical per-sample/per-chain stream (tag 0).
+	StreamSamples uint64 = 0
+	// StreamIslands seeds the per-island master RNGs of the orchestrator.
+	StreamIslands uint64 = 1
+	// StreamMigration drives migrant selection between islands.
+	StreamMigration uint64 = 2
+	// StreamScouts seeds the SA/greedy scout islands.
+	StreamScouts uint64 = 3
+)
+
+// ChildSeedStream derives an independent RNG seed for one (stream, index)
+// consumer of a run seed. The stream tag is folded in with its own odd
+// multiplier before the splitmix64-style finalizer, so overlapping indices
+// across streams cannot collide in practice
+// (TestChildSeedStreamIndependence pins this over the working index range).
+func ChildSeedStream(seed int64, stream uint64, index int) int64 {
+	z := uint64(seed) ^ stream*0xD1B54A32D192ED03 ^ uint64(index)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return int64(z ^ (z >> 31))

@@ -21,6 +21,12 @@ import (
 // real cost, small enough to stay well-ordered in float64 arithmetic.
 const infeasibleCost = 1e30
 
+// InfeasibleCost exports the sentinel so other optimizers sharing genomes
+// with the GA (the orchestrator's scout islands) can keep their costs
+// comparable — and, unlike math.Inf, serializable — under the same
+// convention.
+const InfeasibleCost = infeasibleCost
+
 // Genome is one candidate solution: a partition scheme and the memory
 // configuration it runs on.
 type Genome struct {
@@ -125,6 +131,11 @@ type Options struct {
 	// benchmarks.
 	DisableGenomeMemo bool
 }
+
+// WithDefaults returns the options with every unset field resolved exactly
+// as NewOptimizer would resolve it. The island orchestrator uses it to pace
+// scout islands off the effective population size.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 // withDefaults fills unset fields.
 func (o Options) withDefaults() Options {

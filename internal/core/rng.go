@@ -1,0 +1,56 @@
+package core
+
+import "math/rand"
+
+// CountingSource wraps the standard math/rand source and counts how many
+// times it has advanced. Go's rngSource steps its feedback register exactly
+// once per Int63/Uint64 call, so (seed, draws) is a complete description of
+// the generator state: RestoreSource replays draws steps from a fresh seed
+// and lands on the identical state, whatever mix of Rand methods produced
+// it. This is what makes optimizer checkpoints small — RNG state is two
+// integers, not the 607-word register.
+type CountingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+// NewCountingSource seeds a fresh counting source.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// RestoreSource rebuilds the state a counting source had after draws
+// advances from seed.
+func RestoreSource(seed int64, draws uint64) *CountingSource {
+	s := NewCountingSource(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = draws
+	return s
+}
+
+// Seed reports the seed the source was created from.
+func (s *CountingSource) SeedValue() int64 { return s.seed }
+
+// Draws reports how many times the source has advanced.
+func (s *CountingSource) Draws() uint64 { return s.draws }
+
+// Int63 implements rand.Source.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed, s.draws = seed, 0
+}

@@ -11,6 +11,7 @@ import (
 	"cocco/internal/hw"
 	"cocco/internal/partition"
 	"cocco/internal/report"
+	"cocco/internal/search"
 	"cocco/internal/tiling"
 )
 
@@ -287,6 +288,82 @@ func AblationDeltaEval(cfg Config) ([]AblationDeltaRow, string) {
 		rows = append(rows, row)
 		t.AddRow(m, fmt.Sprintf("%.0f", fullRate), fmt.Sprintf("%.0f", deltaRate),
 			fmt.Sprintf("%.2f", row.Speedup), fmt.Sprintf("%.3f", reuse), row.CostsEqual)
+	}
+	return rows, t.String()
+}
+
+// AblationIslandRow is one (model, island count) point of the island-model
+// ablation.
+type AblationIslandRow struct {
+	Model   string
+	Islands int
+	// Cost is the best cost found with the total sample budget split evenly
+	// across the islands.
+	Cost float64
+	// SamplesPerSec is aggregate search throughput (all islands' samples
+	// over wall clock).
+	SamplesPerSec float64
+	// Migrations counts executed ring barriers.
+	Migrations int
+	// MatchesPlainGA records the islands=1 bit-identity cross-check against
+	// core.Run; anything but true on the islands=1 row is a correctness bug
+	// (the column is trivially true elsewhere).
+	MatchesPlainGA bool
+	// Err records a failed search (e.g. no feasible genome at this split
+	// budget); the row's measurements are zero then.
+	Err string
+}
+
+// AblationIslands quantifies the island-model orchestrator: the same total
+// sample budget spent by 1, 2, and 4 migrating GA islands. Splitting a
+// fixed budget shows what migration buys (or costs) in solution quality;
+// the throughput column shows the scaling the orchestrator adds on
+// multi-core hosts (cmd/benchreport records the per-island-budget scaling
+// separately). The islands=1 row doubles as the determinism cross-check
+// against the plain GA.
+func AblationIslands(cfg Config) ([]AblationIslandRow, string) {
+	modelsUnderTest := []string{"resnet50", "googlenet"}
+	obj := eval.Objective{Metric: eval.MetricEMA}
+	var rows []AblationIslandRow
+	t := report.NewTable("Ablation: island-model search (fixed total budget, split across islands)",
+		"model", "islands", "best cost", "samples/s", "migrations", "matches plain GA")
+	for _, m := range modelsUnderTest {
+		plain, _, plainErr := core.Run(evaluatorFor(m, platform1()), core.Options{
+			Seed: cfg.Seed, Workers: cfg.Workers, Population: cfg.Population, MaxSamples: cfg.CoOptSamples,
+			Objective: obj, Mem: core.MemSearch{Fixed: paperFixedMem()},
+		})
+		for _, islands := range []int{1, 2, 4} {
+			ev := evaluatorFor(m, platform1())
+			t0 := time.Now()
+			best, stats, err := search.Run(ev, search.Options{
+				Core: core.Options{
+					Seed: cfg.Seed, Workers: cfg.Workers, Population: cfg.Population,
+					MaxSamples: cfg.CoOptSamples / islands,
+					Objective:  obj, Mem: core.MemSearch{Fixed: paperFixedMem()},
+				},
+				Islands: islands,
+			})
+			el := time.Since(t0).Seconds()
+			if err != nil {
+				// Keep the failed point visible instead of silently
+				// truncating the table.
+				row := AblationIslandRow{Model: m, Islands: islands, Err: err.Error()}
+				rows = append(rows, row)
+				t.AddRow(m, islands, "error: "+row.Err, "-", "-", "-")
+				continue
+			}
+			row := AblationIslandRow{
+				Model: m, Islands: islands,
+				Cost:          best.Cost,
+				SamplesPerSec: float64(stats.Samples) / el,
+				Migrations:    stats.Migrations,
+				MatchesPlainGA: islands != 1 ||
+					(plainErr == nil && plain.Cost == best.Cost),
+			}
+			rows = append(rows, row)
+			t.AddRow(m, islands, fmt.Sprintf("%.4g", row.Cost),
+				fmt.Sprintf("%.0f", row.SamplesPerSec), row.Migrations, row.MatchesPlainGA)
+		}
 	}
 	return rows, t.String()
 }

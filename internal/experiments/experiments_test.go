@@ -296,6 +296,31 @@ func TestAblationGAVariants(t *testing.T) {
 	}
 }
 
+func TestAblationIslandsRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-heavy")
+	}
+	rows, _ := AblationIslands(tinyCfg())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("%s islands=%d: search failed: %s", r.Model, r.Islands, r.Err)
+			continue
+		}
+		if !r.MatchesPlainGA {
+			t.Errorf("%s islands=%d: islands=1 determinism cross-check failed", r.Model, r.Islands)
+		}
+		if r.Islands > 1 && r.Migrations == 0 {
+			t.Errorf("%s islands=%d: no migrations executed", r.Model, r.Islands)
+		}
+		if r.Cost <= 0 {
+			t.Errorf("%s islands=%d: nonpositive cost %v", r.Model, r.Islands, r.Cost)
+		}
+	}
+}
+
 func TestAblationSeeding(t *testing.T) {
 	if testing.Short() {
 		t.Skip("search-heavy")

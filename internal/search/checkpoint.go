@@ -1,0 +1,128 @@
+package search
+
+import (
+	"fmt"
+	"os"
+
+	"cocco/internal/core"
+	"cocco/internal/graph"
+	"cocco/internal/partition"
+	"cocco/internal/serialize"
+)
+
+// Checkpoint plumbing: snapshots are taken at migration barriers, where
+// every island is quiescent, and written atomically (temp file + rename) so
+// a crash mid-write leaves the previous checkpoint intact. The snapshot
+// pins the graph name and an options fingerprint; Resume rejects anything
+// that doesn't match, because a resumed trajectory is only meaningful under
+// the exact configuration that produced it.
+
+// fingerprint folds every option that shapes the search trajectory into a
+// stable string. Workers and Trace are deliberately excluded — neither
+// changes results — so a checkpoint taken on one machine resumes on another
+// with a different worker count.
+func fingerprint(opt Options) string {
+	c := opt.Core
+	var initHashes []uint64
+	for _, p := range c.Init {
+		initHashes = append(initHashes, p.AssignHash())
+	}
+	return fmt.Sprintf(
+		"v%d seed=%d islands=%d migrate=%d migrants=%d scouts=%v pop=%d samples=%d tourn=%d cross=%g pnew=%g mut=%g/%g/%g/%g sigma=%g obj=%d/%g mem=%+v flags=%v/%v/%v/%v init=%x",
+		serialize.CheckpointVersion,
+		c.Seed, opt.Islands, opt.MigrateEvery, opt.Migrants, opt.Scouts,
+		c.Population, c.MaxSamples, c.Tournament, c.CrossoverProb, c.PNewInit,
+		c.MutModify, c.MutSplit, c.MutMerge, c.MutDSE, c.DSESigmaSteps,
+		c.Objective.Metric, c.Objective.Alpha, c.Mem,
+		c.DisableCrossover, c.DisableInSituSplit, c.DisableDeltaEval, c.DisableGenomeMemo,
+		initHashes,
+	)
+}
+
+// encodeGenome converts a genome to the wire form (nil-safe). withRes keeps
+// the evaluation result — needed for best genomes and memo entries, dead
+// weight for population members, whose results the search never reads.
+func encodeGenome(g *core.Genome, withRes bool) *serialize.GenomeJSON {
+	if g == nil {
+		return nil
+	}
+	j := &serialize.GenomeJSON{
+		Assign: g.P.Assignment(),
+		Mem:    serialize.EncodeMemConfig(g.Mem),
+		Cost:   g.Cost,
+	}
+	if withRes {
+		j.Res = serialize.EncodeResult(g.Res)
+	}
+	return j
+}
+
+// decodeGenome rebuilds a genome, revalidating the partition against the
+// graph. needRes rejects entries that must carry a result but don't.
+func decodeGenome(gr *graph.Graph, j *serialize.GenomeJSON, needRes bool) (*core.Genome, error) {
+	if j == nil {
+		return nil, nil
+	}
+	p, err := partition.From(gr, j.Assign)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := serialize.DecodeMemConfig(j.Mem)
+	if err != nil {
+		return nil, err
+	}
+	if needRes && j.Res == nil {
+		return nil, fmt.Errorf("missing evaluation result")
+	}
+	return &core.Genome{P: p, Mem: mem, Cost: j.Cost, Res: serialize.DecodeResult(j.Res)}, nil
+}
+
+// save writes the orchestrator snapshot atomically.
+func (h *orchestrator) save(path string) error {
+	cp := &serialize.CheckpointJSON{
+		Graph:      h.ev.Graph().Name,
+		Config:     fingerprint(h.opt),
+		Round:      h.rounds,
+		Migrations: h.migrations,
+	}
+	for _, isl := range h.islands {
+		cp.Islands = append(cp.Islands, isl.snapshot())
+	}
+	data, err := serialize.EncodeCheckpoint(cp)
+	if err != nil {
+		return fmt.Errorf("search: checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("search: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("search: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// restore loads a snapshot into a freshly constructed orchestrator.
+func (h *orchestrator) restore(snapshot []byte) error {
+	cp, err := serialize.DecodeCheckpoint(snapshot)
+	if err != nil {
+		return err
+	}
+	if cp.Graph != h.ev.Graph().Name {
+		return fmt.Errorf("search: checkpoint is for graph %q, not %q", cp.Graph, h.ev.Graph().Name)
+	}
+	if fp := fingerprint(h.opt); cp.Config != fp {
+		return fmt.Errorf("search: checkpoint config mismatch:\n  have %s\n  want %s", cp.Config, fp)
+	}
+	if len(cp.Islands) != len(h.islands) {
+		return fmt.Errorf("search: checkpoint has %d islands, want %d", len(cp.Islands), len(h.islands))
+	}
+	for i, isl := range h.islands {
+		if err := isl.restore(cp.Islands[i]); err != nil {
+			return err
+		}
+	}
+	h.rounds = cp.Round
+	h.migrations = cp.Migrations
+	return nil
+}

@@ -1,0 +1,342 @@
+// Package search runs the island-model orchestrator on top of the Cocco GA:
+// K independent GA populations (plus optional SA/greedy "scout" islands)
+// explore concurrently over one shared evaluator, exchanging genomes by
+// deterministic ring migration every few generations, with versioned
+// checkpoint/resume snapshots.
+//
+// Determinism contract. Every island's randomness comes from its own
+// ChildSeedStream-derived stream (StreamIslands for GA masters beyond
+// island 0, StreamScouts for scouts, StreamMigration for migrant
+// selection); islands only touch island-local state between migration
+// barriers, and the shared evaluator's cost cache is value-deterministic
+// (a subgraph's cost is a pure function of its members, whichever island
+// computes it first). Migration selects every island's emigrants before
+// committing any of them, in island order, so the exchange is a pure
+// function of the pre-barrier populations. Consequences, pinned by the
+// equivalence suite:
+//
+//   - Islands=1 with no scouts is bit-identical to core.Run — same best
+//     genome, same Stats, same trajectory;
+//   - any Workers count replays the same trajectory;
+//   - a run checkpointed at a barrier and resumed is bit-identical to an
+//     uninterrupted run (TestCheckpointResume).
+package search
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/serialize"
+)
+
+// ScoutKind selects a non-GA island type.
+type ScoutKind int
+
+const (
+	// ScoutSA anneals one simulated-annealing chain, paced to consume
+	// samples at the same per-round rate as the GA islands.
+	ScoutSA ScoutKind = iota
+	// ScoutGreedy runs the Halide-style greedy merger once and then only
+	// participates in migration, exporting its solution every round.
+	ScoutGreedy
+)
+
+func (k ScoutKind) String() string {
+	switch k {
+	case ScoutSA:
+		return "sa"
+	case ScoutGreedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("ScoutKind(%d)", int(k))
+}
+
+// Options configures an orchestrated search.
+type Options struct {
+	// Core configures each GA island. Seed is the run seed: island 0 uses it
+	// directly (that is what makes Islands=1 reproduce core.Run), later
+	// islands and scouts derive their own streams from it. MaxSamples is the
+	// per-island budget; Workers is the total scoring-goroutine budget,
+	// divided across islands.
+	Core core.Options
+	// Islands is the number of GA islands (default 1).
+	Islands int
+	// MigrateEvery is the number of optimizer steps between migration
+	// barriers (default 5).
+	MigrateEvery int
+	// Migrants is the number of genomes each island sends around the ring at
+	// every barrier (default 2; capped at population-1).
+	Migrants int
+	// Scouts appends non-GA islands to the migration ring.
+	Scouts []ScoutKind
+	// Checkpoint, if non-empty, is the path the orchestrator writes its
+	// snapshot to at every CheckpointEvery-th migration barrier.
+	Checkpoint string
+	// CheckpointEvery is the barrier period of checkpoint writes (default 1).
+	CheckpointEvery int
+	// MaxRounds, when positive, pauses the run after that many rounds even
+	// if sample budget remains, writing a final checkpoint when Checkpoint
+	// is set. Like Workers it never shapes the trajectory — a paused-and-
+	// resumed run is bit-identical to an uninterrupted one — so it is not
+	// part of the checkpoint fingerprint. Time-boxed jobs run with MaxRounds
+	// and resume later.
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	o.Core = o.Core.WithDefaults()
+	if o.Islands <= 0 {
+		o.Islands = 1
+	}
+	if o.MigrateEvery <= 0 {
+		o.MigrateEvery = 5
+	}
+	if o.Migrants <= 0 {
+		o.Migrants = 2
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	return o
+}
+
+// Stats aggregates a completed orchestrated run.
+type Stats struct {
+	// Samples, FeasibleSamples, and MemoHits sum over every island.
+	Samples         int
+	FeasibleSamples int
+	MemoHits        int
+	// Rounds is the number of completed step rounds; Migrations counts
+	// migration barriers executed.
+	Rounds     int
+	Migrations int
+	// Paused reports the run stopped at MaxRounds with sample budget left;
+	// resuming from the checkpoint continues it.
+	Paused bool
+	// BestIsland is the ring index the returned best genome came from.
+	BestIsland int
+	// IslandStats holds each GA island's optimizer statistics, in ring
+	// order. Scout islands contribute a Stats with only Samples filled.
+	IslandStats []core.Stats
+}
+
+// island is one ring member: a GA population or a scout.
+type island interface {
+	// step advances by up to gens optimizer steps (or the scout's equivalent
+	// sample budget) and reports whether any work was done.
+	step(gens int) bool
+	// done reports whether the island's budget is exhausted.
+	done() bool
+	// emigrants clones out n migrants using the island's migration RNG,
+	// without touching island search state.
+	emigrants(n int) []*core.Genome
+	// immigrate commits migrants from the ring predecessor.
+	immigrate(gs []*core.Genome)
+	// best returns the island's best feasible genome (nil if none).
+	best() *core.Genome
+	// stats reports the island's contribution to the aggregate statistics.
+	stats() core.Stats
+	// snapshot and restore convert the island state to and from the
+	// checkpoint wire form.
+	snapshot() serialize.IslandJSON
+	restore(j serialize.IslandJSON) error
+}
+
+// orchestrator drives the ring.
+type orchestrator struct {
+	ev      *eval.Evaluator
+	opt     Options
+	islands []island
+
+	rounds     int
+	migrations int
+	paused     bool
+}
+
+// Run executes an orchestrated search from scratch.
+func Run(ev *eval.Evaluator, opt Options) (*core.Genome, *Stats, error) {
+	h, err := newOrchestrator(ev, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h.run()
+}
+
+// Resume continues a search from a checkpoint snapshot previously written
+// by Run (or Resume) with the same options and evaluator.
+func Resume(ev *eval.Evaluator, opt Options, snapshot []byte) (*core.Genome, *Stats, error) {
+	h, err := newOrchestrator(ev, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := h.restore(snapshot); err != nil {
+		return nil, nil, err
+	}
+	return h.run()
+}
+
+// RunOrResume resumes from resumePath when the file exists, otherwise starts
+// fresh. This is the cmd-level entry point: crash-interrupted jobs restart
+// with the same command line and pick up where the last checkpoint left off.
+func RunOrResume(ev *eval.Evaluator, opt Options, resumePath string) (*core.Genome, *Stats, error) {
+	if resumePath != "" {
+		data, err := os.ReadFile(resumePath)
+		if err == nil {
+			return Resume(ev, opt, data)
+		}
+		if !os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("search: read checkpoint: %w", err)
+		}
+	}
+	return Run(ev, opt)
+}
+
+func newOrchestrator(ev *eval.Evaluator, opt Options) (*orchestrator, error) {
+	opt = opt.withDefaults()
+	if opt.MaxRounds > 0 && opt.Checkpoint == "" {
+		// A pause without a snapshot discards the whole trajectory — the
+		// remaining budget could never be resumed. Always a mistake.
+		return nil, fmt.Errorf("search: MaxRounds requires a Checkpoint path to resume from")
+	}
+	h := &orchestrator{ev: ev, opt: opt}
+
+	// Split the scoring-worker budget across islands; every island keeps at
+	// least one worker. Worker counts never change results anywhere in the
+	// stack, so the split is purely a throughput decision.
+	total := opt.Core.Workers
+	if total <= 0 {
+		total = runtime.NumCPU()
+	}
+	ring := opt.Islands + len(opt.Scouts)
+	perIsland := total / ring
+	if perIsland < 1 {
+		perIsland = 1
+	}
+
+	seed := opt.Core.Seed
+	for i := 0; i < opt.Islands; i++ {
+		iopt := opt.Core
+		iopt.Workers = perIsland
+		if opt.Islands == 1 && len(opt.Scouts) == 0 {
+			// The solo island IS core.Run; give it the full worker budget.
+			iopt.Workers = total
+		}
+		if i > 0 {
+			iopt.Seed = core.ChildSeedStream(seed, core.StreamIslands, i)
+			// Only island 0 honors Init seeding and Trace, so multi-island
+			// runs neither replay seeds K times nor interleave trace streams.
+			iopt.Init = nil
+			iopt.Trace = nil
+		}
+		isl, err := newGAIsland(ev, iopt, seed, i)
+		if err != nil {
+			return nil, err
+		}
+		h.islands = append(h.islands, isl)
+	}
+	for s, kind := range opt.Scouts {
+		ringIdx := opt.Islands + s
+		isl, err := newScout(ev, opt, kind, seed, ringIdx)
+		if err != nil {
+			return nil, err
+		}
+		h.islands = append(h.islands, isl)
+	}
+	return h, nil
+}
+
+func (h *orchestrator) run() (*core.Genome, *Stats, error) {
+	ring := len(h.islands)
+	stepWorkers := ring // islands are goroutine-cheap; scoring workers are capped separately
+	progressed := make([]bool, ring)
+	startRound := h.rounds
+	for {
+		core.ParallelFor(ring, stepWorkers, func(i int) {
+			progressed[i] = h.islands[i].step(h.opt.MigrateEvery)
+		})
+		any := false
+		for _, p := range progressed {
+			any = any || p
+		}
+		if !any {
+			break
+		}
+		h.rounds++
+		if ring > 1 {
+			h.migrate()
+		}
+		if h.opt.Checkpoint != "" && h.rounds%h.opt.CheckpointEvery == 0 {
+			if err := h.save(h.opt.Checkpoint); err != nil {
+				return nil, nil, err
+			}
+		}
+		if h.opt.MaxRounds > 0 && h.rounds-startRound >= h.opt.MaxRounds {
+			// Pause: snapshot the barrier state so the job can resume later.
+			// If the final allowed round happened to exhaust every island,
+			// the run is simply complete — not paused.
+			h.paused = !h.allDone()
+			if h.paused && h.rounds%h.opt.CheckpointEvery != 0 {
+				if err := h.save(h.opt.Checkpoint); err != nil {
+					return nil, nil, err
+				}
+			}
+			break
+		}
+	}
+	return h.finish()
+}
+
+// allDone reports whether every island has exhausted its budget.
+func (h *orchestrator) allDone() bool {
+	for _, isl := range h.islands {
+		if !isl.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// migrate runs one ring-migration barrier: every island's emigrants are
+// selected first (so selection sees only pre-barrier populations), then
+// committed to each ring successor, both passes in ascending island order.
+func (h *orchestrator) migrate() {
+	ring := len(h.islands)
+	out := make([][]*core.Genome, ring)
+	for i := 0; i < ring; i++ {
+		out[i] = h.islands[i].emigrants(h.opt.Migrants)
+	}
+	for i := 0; i < ring; i++ {
+		h.islands[(i+1)%ring].immigrate(out[i])
+	}
+	h.migrations++
+}
+
+func (h *orchestrator) finish() (*core.Genome, *Stats, error) {
+	st := &Stats{Rounds: h.rounds, Migrations: h.migrations, BestIsland: -1, Paused: h.paused}
+	var best *core.Genome
+	for i, isl := range h.islands {
+		is := isl.stats()
+		st.IslandStats = append(st.IslandStats, is)
+		st.Samples += is.Samples
+		st.FeasibleSamples += is.FeasibleSamples
+		st.MemoHits += is.MemoHits
+		if b := isl.best(); b != nil && (best == nil || b.Cost < best.Cost) {
+			best, st.BestIsland = b, i
+		}
+	}
+	if best == nil {
+		if h.paused {
+			// A pause is not a failed search: the checkpoint is resumable and
+			// budget remains. The distinct error (plus Stats.Paused) keeps
+			// callers from reading it as exhaustion.
+			return nil, st, fmt.Errorf("search: paused after %d rounds with no feasible genome yet (%d samples); resume to continue",
+				st.Rounds, st.Samples)
+		}
+		return nil, st, fmt.Errorf("search: no feasible genome found in %d samples across %d islands",
+			st.Samples, len(h.islands))
+	}
+	return best, st, nil
+}

@@ -1,0 +1,317 @@
+package search
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/models"
+	"cocco/internal/tiling"
+)
+
+func fixedMem() hw.MemConfig {
+	return hw.MemConfig{Kind: hw.SeparateBuffer, GlobalBytes: 1024 * hw.KiB, WeightBytes: 1152 * hw.KiB}
+}
+
+func evaluatorFor(t testing.TB, model string) *eval.Evaluator {
+	t.Helper()
+	return eval.MustNew(models.MustBuild(model), hw.DefaultPlatform(), tiling.DefaultConfig())
+}
+
+// sameGenome asserts bit-exact equality of two genomes: assignment, memory
+// config, cost, and every evaluation-result field (floats compared by bits).
+func sameGenome(t *testing.T, label string, a, b *core.Genome) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: one genome is nil (a=%v b=%v)", label, a != nil, b != nil)
+	}
+	if a == nil {
+		return
+	}
+	if !reflect.DeepEqual(a.P.Assignment(), b.P.Assignment()) {
+		t.Errorf("%s: assignments differ", label)
+	}
+	if a.Mem != b.Mem {
+		t.Errorf("%s: mem %v != %v", label, a.Mem, b.Mem)
+	}
+	if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) {
+		t.Errorf("%s: cost %v != %v", label, a.Cost, b.Cost)
+	}
+	ra, rb := a.Res, b.Res
+	if (ra == nil) != (rb == nil) {
+		t.Fatalf("%s: one result is nil", label)
+	}
+	if ra == nil {
+		return
+	}
+	if ra.EMABytes != rb.EMABytes || ra.LatencyCycles != rb.LatencyCycles ||
+		ra.MaxActFootprint != rb.MaxActFootprint || ra.MaxWgtFootprint != rb.MaxWgtFootprint ||
+		ra.NumSubgraphs != rb.NumSubgraphs || !reflect.DeepEqual(ra.Infeasible, rb.Infeasible) {
+		t.Errorf("%s: integer result fields differ: %+v vs %+v", label, ra, rb)
+	}
+	if math.Float64bits(ra.EnergyPJ) != math.Float64bits(rb.EnergyPJ) ||
+		math.Float64bits(ra.AvgBWBytesPerSec) != math.Float64bits(rb.AvgBWBytesPerSec) {
+		t.Errorf("%s: float result fields differ: %+v vs %+v", label, ra, rb)
+	}
+}
+
+// TestIslandsOneMatchesCoreRun pins the headline determinism contract on
+// the full model zoo at the golden-corpus budget: Islands=1 with no scouts
+// is bit-identical to core.Run — best genome, result, and Stats — so the
+// orchestrator inherits the golden corpus transitively.
+func TestIslandsOneMatchesCoreRun(t *testing.T) {
+	for _, model := range models.Names() {
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			opt := core.Options{
+				Seed: 42, Workers: 2, Population: 50, MaxSamples: 1500,
+				Objective: eval.Objective{Metric: eval.MetricEMA},
+				Mem:       core.MemSearch{Fixed: fixedMem()},
+			}
+			wantBest, wantStats, err := core.Run(evaluatorFor(t, model), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBest, gotStats, err := Run(evaluatorFor(t, model), Options{Core: opt, Islands: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGenome(t, model, wantBest, gotBest)
+			if len(gotStats.IslandStats) != 1 {
+				t.Fatalf("want 1 island stats, got %d", len(gotStats.IslandStats))
+			}
+			if !reflect.DeepEqual(*wantStats, gotStats.IslandStats[0]) {
+				t.Errorf("island stats differ:\ncore:   %+v\nisland: %+v", *wantStats, gotStats.IslandStats[0])
+			}
+			if gotStats.Samples != wantStats.Samples || gotStats.FeasibleSamples != wantStats.FeasibleSamples ||
+				gotStats.MemoHits != wantStats.MemoHits || gotStats.BestIsland != 0 {
+				t.Errorf("aggregate stats differ: %+v vs core %+v", gotStats, wantStats)
+			}
+			if gotStats.Migrations != 0 {
+				t.Errorf("solo island migrated %d times", gotStats.Migrations)
+			}
+		})
+	}
+}
+
+// TestIslandWorkersDeterminism pins that the full ring — GA islands plus SA
+// and greedy scouts, migration on — replays the same trajectory for every
+// worker count.
+func TestIslandWorkersDeterminism(t *testing.T) {
+	for _, model := range []string{"resnet50", "googlenet"} {
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			base := Options{
+				Core: core.Options{
+					Seed: 7, Population: 24, MaxSamples: 700,
+					Objective: eval.Objective{Metric: eval.MetricEMA},
+					Mem:       core.MemSearch{Fixed: fixedMem()},
+				},
+				Islands:      3,
+				MigrateEvery: 2,
+				Migrants:     2,
+				Scouts:       []ScoutKind{ScoutSA, ScoutGreedy},
+			}
+			type outcome struct {
+				best  *core.Genome
+				stats *Stats
+			}
+			var runs []outcome
+			for _, workers := range []int{1, 8} {
+				opt := base
+				opt.Core.Workers = workers
+				best, stats, err := Run(evaluatorFor(t, model), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runs = append(runs, outcome{best, stats})
+			}
+			sameGenome(t, "workers 1 vs 8", runs[0].best, runs[1].best)
+			if !reflect.DeepEqual(runs[0].stats, runs[1].stats) {
+				t.Errorf("stats differ across worker counts:\n1: %+v\n8: %+v", runs[0].stats, runs[1].stats)
+			}
+			if runs[0].stats.Migrations == 0 {
+				t.Error("expected at least one migration barrier")
+			}
+			// The ring is 5 islands: 3 GA + 2 scouts, all contributing samples.
+			if n := len(runs[0].stats.IslandStats); n != 5 {
+				t.Fatalf("want 5 islands, got %d", n)
+			}
+			for i, is := range runs[0].stats.IslandStats {
+				if is.Samples == 0 {
+					t.Errorf("island %d did no work", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResume is the round-trip contract on three zoo models: pause
+// a full ring mid-run at a checkpoint barrier, resume it on a fresh
+// evaluator (proving the snapshot, not evaluator cache state, carries the
+// run), and compare final best genome and all statistics bit-for-bit
+// against the uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	for _, model := range []string{"resnet50", "googlenet", "mobilenetv2"} {
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			opt := Options{
+				Core: core.Options{
+					Seed: 11, Workers: 2, Population: 20, MaxSamples: 600,
+					Objective: eval.Objective{Metric: eval.MetricEMA},
+					Mem:       core.MemSearch{Fixed: fixedMem()},
+				},
+				Islands:      2,
+				MigrateEvery: 2,
+				Migrants:     2,
+				Scouts:       []ScoutKind{ScoutSA},
+			}
+			wantBest, wantStats, err := Run(evaluatorFor(t, model), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+			paused := opt
+			paused.Checkpoint = ckpt
+			paused.MaxRounds = 2
+			if _, _, err := Run(evaluatorFor(t, model), paused); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(ckpt)
+			if err != nil {
+				t.Fatalf("no checkpoint written: %v", err)
+			}
+
+			gotBest, gotStats, err := Resume(evaluatorFor(t, model), opt, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGenome(t, "resume vs uninterrupted", wantBest, gotBest)
+			if !reflect.DeepEqual(wantStats, gotStats) {
+				t.Errorf("stats differ:\nuninterrupted: %+v\nresumed:       %+v", wantStats, gotStats)
+			}
+		})
+	}
+}
+
+// TestCheckpointChainWithScouts replays a whole run as a chain of
+// one-round segments, each resumed from the previous segment's checkpoint.
+// This is the time-boxed -max-rounds/-resume workflow, and it regression-
+// pins a once-real failure mode: migrants cloned from a restored
+// population carry no evaluation result, and a scout adopting one as its
+// best used to poison the next checkpoint (best entries must carry
+// results), killing the chain after a few segments.
+func TestCheckpointChainWithScouts(t *testing.T) {
+	opt := Options{
+		Core: core.Options{
+			Seed: 1, Workers: 2, Population: 16, MaxSamples: 800,
+			Objective: eval.Objective{Metric: eval.MetricEMA},
+			Mem:       core.MemSearch{Fixed: fixedMem()},
+		},
+		Islands:      2,
+		MigrateEvery: 1,
+		Scouts:       []ScoutKind{ScoutSA, ScoutSA},
+	}
+	wantBest, wantStats, err := Run(evaluatorFor(t, "googlenet"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "chain.ckpt")
+	seg := opt
+	seg.Checkpoint = ckpt
+	seg.MaxRounds = 1
+	var gotBest *core.Genome
+	var gotStats *Stats
+	for segment := 0; ; segment++ {
+		if segment > 200 {
+			t.Fatal("checkpoint chain did not converge in 200 segments")
+		}
+		best, stats, err := RunOrResume(evaluatorFor(t, "googlenet"), seg, ckpt)
+		if err != nil && (stats == nil || !stats.Paused) {
+			t.Fatalf("segment %d: %v", segment, err)
+		}
+		if !stats.Paused {
+			gotBest, gotStats = best, stats
+			break
+		}
+	}
+	sameGenome(t, "chained vs uninterrupted", wantBest, gotBest)
+	if !reflect.DeepEqual(wantStats, gotStats) {
+		t.Errorf("stats differ:\nuninterrupted: %+v\nchained:       %+v", wantStats, gotStats)
+	}
+}
+
+// TestResumeRejectsMismatch pins the checkpoint safety rails: wrong graph
+// and wrong configuration both fail loudly.
+func TestResumeRejectsMismatch(t *testing.T) {
+	opt := Options{
+		Core: core.Options{
+			Seed: 3, Workers: 1, Population: 10, MaxSamples: 60,
+			Objective: eval.Objective{Metric: eval.MetricEMA},
+			Mem:       core.MemSearch{Fixed: fixedMem()},
+		},
+		Islands: 2, MigrateEvery: 1,
+		Checkpoint: filepath.Join(t.TempDir(), "m.ckpt"),
+	}
+	if _, _, err := Run(evaluatorFor(t, "mobilenetv2"), opt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(opt.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(evaluatorFor(t, "resnet50"), opt, data); err == nil {
+		t.Error("resume against the wrong graph succeeded")
+	}
+	wrong := opt
+	wrong.Core.Seed = 4
+	if _, _, err := Resume(evaluatorFor(t, "mobilenetv2"), wrong, data); err == nil {
+		t.Error("resume with a different seed succeeded")
+	}
+	wrong = opt
+	wrong.Islands = 3
+	if _, _, err := Resume(evaluatorFor(t, "mobilenetv2"), wrong, data); err == nil {
+		t.Error("resume with a different island count succeeded")
+	}
+}
+
+// TestRunOrResume covers the cmd-level entry point: first call starts
+// fresh and checkpoints, second call picks the file up and finishes with
+// the uninterrupted result.
+func TestRunOrResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "auto.ckpt")
+	opt := Options{
+		Core: core.Options{
+			Seed: 5, Workers: 2, Population: 16, MaxSamples: 400,
+			Objective: eval.Objective{Metric: eval.MetricEMA},
+			Mem:       core.MemSearch{Fixed: fixedMem()},
+		},
+		Islands: 2, MigrateEvery: 2,
+	}
+	wantBest, wantStats, err := Run(evaluatorFor(t, "googlenet"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	paused := opt
+	paused.Checkpoint = ckpt
+	paused.MaxRounds = 1
+	if _, _, err := RunOrResume(evaluatorFor(t, "googlenet"), paused, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	gotBest, gotStats, err := RunOrResume(evaluatorFor(t, "googlenet"), opt, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGenome(t, "run-or-resume", wantBest, gotBest)
+	if !reflect.DeepEqual(wantStats, gotStats) {
+		t.Errorf("stats differ:\nwant %+v\ngot  %+v", wantStats, gotStats)
+	}
+}

@@ -1,0 +1,196 @@
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cocco/internal/graph"
+)
+
+// DAGOpts shapes RandomDAG's layered generator. The zero value is a useful
+// default: moderate depth, mixed joins, a small channel range.
+type DAGOpts struct {
+	// Layers is the number of topological layers the nodes are spread over
+	// (default: n/3, at least 2). More layers mean deeper, narrower graphs;
+	// fewer mean wide, join-heavy ones.
+	Layers int
+	// MaxFanIn bounds how many extra producers a join node may take beyond
+	// its primary one (default 2).
+	MaxFanIn int
+	// PJoin is the probability a node becomes an eltwise/concat join when a
+	// compatible partner exists. Zero selects the default (0.25); pass a
+	// negative value for a join-free graph.
+	PJoin float64
+	// PSkip is the probability a node wires to a random earlier layer
+	// instead of the immediately preceding one — long skip connections.
+	// Zero selects the default (0.2); pass a negative value to disable
+	// skips entirely.
+	PSkip float64
+	// MinChannels and MaxChannels bound convolution output channels — the
+	// weight-size distribution of the graph (defaults 8 and 64; rounded to
+	// multiples of 4).
+	MinChannels, MaxChannels int
+	// InputChannels and InputHW fix the input feature map (defaults 8 and
+	// 32) — the activation-size distribution.
+	InputChannels, InputHW int
+}
+
+func (o DAGOpts) withDefaults(n int) DAGOpts {
+	if o.Layers <= 0 {
+		o.Layers = n / 3
+	}
+	if o.Layers < 2 {
+		o.Layers = 2
+	}
+	if o.Layers > n {
+		o.Layers = n
+	}
+	if o.MaxFanIn <= 0 {
+		o.MaxFanIn = 2
+	}
+	if o.PJoin == 0 {
+		o.PJoin = 0.25
+	} else if o.PJoin < 0 {
+		o.PJoin = 0
+	}
+	if o.PSkip == 0 {
+		o.PSkip = 0.2
+	} else if o.PSkip < 0 {
+		o.PSkip = 0
+	}
+	if o.MinChannels <= 0 {
+		o.MinChannels = 8
+	}
+	if o.MaxChannels < o.MinChannels {
+		o.MaxChannels = o.MinChannels + 56
+	}
+	if o.InputChannels <= 0 {
+		o.InputChannels = 8
+	}
+	if o.InputHW <= 0 {
+		o.InputHW = 32
+	}
+	return o
+}
+
+// RandomDAG generates a deterministic layered random DAG with n compute
+// nodes: convolutions, depth-wise convolutions, and poolings wired layer to
+// layer (with PSkip long skips), plus eltwise/concat joins with up to
+// MaxFanIn extra shape-compatible producers. The same (seed, n, opts)
+// triple always yields the same graph, so generated cases are replayable
+// from their parameters alone — the property the differential suite and the
+// FuzzRandomDAG seeds rely on. Every graph is valid by construction: joins
+// are only emitted between shape-compatible producers, strides shrink
+// spatial extents only while they stay comfortably above 1.
+func RandomDAG(seed int64, n int, opts DAGOpts) *graph.Graph {
+	opts = opts.withDefaults(n)
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(fmt.Sprintf("dag-%d-%d", seed, n))
+	in := b.Input("in", opts.InputChannels, opts.InputHW, opts.InputHW)
+
+	// layerOf[i] holds the node ids of layer i; layer 0 is the input.
+	layers := make([][]int, 1, opts.Layers+1)
+	layers[0] = []int{in}
+
+	// Spread the n nodes over the layers: every layer gets at least one
+	// node, the remainder lands uniformly at random.
+	width := make([]int, opts.Layers)
+	for i := range width {
+		width[i] = 1
+	}
+	for extra := n - opts.Layers; extra > 0; extra-- {
+		width[rng.Intn(opts.Layers)]++
+	}
+
+	channels := func() int {
+		c := opts.MinChannels + rng.Intn(opts.MaxChannels-opts.MinChannels+1)
+		return (c + 3) / 4 * 4
+	}
+
+	id := 0
+	for l := 0; l < opts.Layers; l++ {
+		var cur []int
+		prev := layers[len(layers)-1]
+		for k := 0; k < width[l]; k++ {
+			name := fmt.Sprintf("n%d", id)
+			id++
+			// Primary producer: previous layer, or a long skip.
+			pool := prev
+			if rng.Float64() < opts.PSkip && len(layers) > 1 {
+				pool = layers[rng.Intn(len(layers))]
+			}
+			src := pool[rng.Intn(len(pool))]
+			_, h, w, _ := b.OutShape(src)
+
+			var nid int
+			if partners := joinPartners(b, rng, layers, src, opts.MaxFanIn); rng.Float64() < opts.PJoin && len(partners) > 0 {
+				from := append([]int{src}, partners...)
+				if sameChannels(b, from) && rng.Intn(2) == 0 {
+					nid = b.Eltwise(name, from...)
+				} else {
+					nid = b.Concat(name, from...)
+				}
+			} else {
+				stride := 1
+				if h > 8 && w > 8 && rng.Intn(4) == 0 {
+					stride = 2
+				}
+				switch rng.Intn(4) {
+				case 0:
+					nid = b.DWConv(name, src, []int{3, 5}[rng.Intn(2)], stride)
+				case 1:
+					nid = b.Pool(name, src, 3, stride)
+				default:
+					nid = b.Conv(name, src, channels(), []int{1, 3, 5}[rng.Intn(3)], stride)
+				}
+			}
+			cur = append(cur, nid)
+		}
+		layers = append(layers, cur)
+	}
+	return b.MustFinalize()
+}
+
+// joinPartners picks up to maxExtra additional producers for a join rooted
+// at src: nodes from any existing layer with src's spatial shape (the
+// concat requirement). Partners are drawn without replacement in a
+// deterministic order.
+func joinPartners(b *graph.Builder, rng *rand.Rand, layers [][]int, src, maxExtra int) []int {
+	_, h, w, _ := b.OutShape(src)
+	var cands []int
+	for _, layer := range layers {
+		for _, id := range layer {
+			if id == src {
+				continue
+			}
+			_, hh, ww, ok := b.OutShape(id)
+			if ok && hh == h && ww == w {
+				cands = append(cands, id)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	extra := 1 + rng.Intn(maxExtra)
+	var out []int
+	for e := 0; e < extra && len(cands) > 0; e++ {
+		i := rng.Intn(len(cands))
+		out = append(out, cands[i])
+		cands = append(cands[:i], cands[i+1:]...)
+	}
+	return out
+}
+
+// sameChannels reports whether every producer has the same channel count
+// (the extra eltwise requirement beyond concat's spatial match).
+func sameChannels(b *graph.Builder, from []int) bool {
+	c0, _, _, _ := b.OutShape(from[0])
+	for _, f := range from[1:] {
+		c, _, _, _ := b.OutShape(f)
+		if c != c0 {
+			return false
+		}
+	}
+	return true
+}
