@@ -24,6 +24,16 @@
 // per-island budget runs on 1, 2, and 4 islands over a shared evaluator.
 // The scaling column is hardware-dependent — island steps overlap across
 // cores — so the report records the host CPU count alongside it.
+//
+// A fifth workload, dse (-dse, BENCH_dse.json), measures the
+// GraphContext/Evaluator split that the batched multi-config DSE driver
+// rests on: per-model evaluator-construction cost standalone (eval.New,
+// full graph-derived cold path) vs from a warm shared context
+// (GraphContext.NewEvaluator), and sweep throughput (configs/s) at widths
+// 1, 8, and 64 with per-config rebuild vs one shared context. The workload
+// asserts the split's contract — warm shared construction at least 5x
+// faster than standalone on every zoo model, and the shared sweep beating
+// rebuild at widths >= 8 — and exits non-zero if either fails.
 package main
 
 import (
@@ -195,6 +205,122 @@ type orchReport struct {
 	NumCPU int       `json:"num_cpu"`
 	Note   string    `json:"note"`
 	Rows   []orchRow `json:"search_orchestrator"`
+}
+
+// dseConstructRow is one zoo model of the dse construction workload.
+type dseConstructRow struct {
+	Model string `json:"model"`
+	// StandaloneNsPerOp is one eval.New: per-node tables, tiling Deriver
+	// validation, and the compute-cycle table, all from scratch.
+	StandaloneNsPerOp float64 `json:"standalone_ns_per_op"`
+	// SharedNsPerOp is one GraphContext.NewEvaluator against a warm context
+	// (the cost every config after the first pays in a sweep).
+	SharedNsPerOp float64 `json:"shared_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// dseSweepRow is one (model, width) of the dse sweep-throughput workload.
+type dseSweepRow struct {
+	Model string `json:"model"`
+	// Width is the number of platform configs built per sweep.
+	Width int `json:"width"`
+	// RebuildConfigsPerSec builds every config with standalone eval.New;
+	// SharedConfigsPerSec builds one GraphContext per sweep and derives
+	// every config's evaluator from it (context cost included).
+	RebuildConfigsPerSec float64 `json:"rebuild_configs_per_sec"`
+	SharedConfigsPerSec  float64 `json:"shared_configs_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
+// dseReport is the dse workload file (BENCH_dse.json).
+type dseReport struct {
+	Bench     string            `json:"bench"`
+	Go        string            `json:"go"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Note      string            `json:"note"`
+	Construct []dseConstructRow `json:"construct"`
+	Sweep     []dseSweepRow     `json:"sweep"`
+}
+
+// dseConstructWorkload measures standalone vs warm-shared-context evaluator
+// construction for one model.
+func dseConstructWorkload(model string) (dseConstructRow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return dseConstructRow{}, err
+	}
+	platform := hw.DefaultPlatform()
+	standalone := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eval.MustNew(g, platform, tiling.DefaultConfig())
+		}
+	})
+	gc := eval.NewGraphContext(g, tiling.DefaultConfig())
+	gc.MustNewEvaluator(platform) // warm the context's cycle-table memo
+	shared := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gc.MustNewEvaluator(platform)
+		}
+	})
+	row := dseConstructRow{
+		Model:             model,
+		StandaloneNsPerOp: float64(standalone.NsPerOp()),
+		SharedNsPerOp:     float64(shared.NsPerOp()),
+	}
+	if row.SharedNsPerOp > 0 {
+		row.Speedup = row.StandaloneNsPerOp / row.SharedNsPerOp
+	}
+	return row, nil
+}
+
+// dseSweepPlatforms returns width platform variants sweeping the cores and
+// batch axes over a fixed core geometry, like a real DSE grid.
+func dseSweepPlatforms(width int) []hw.Platform {
+	out := make([]hw.Platform, width)
+	for i := range out {
+		p := hw.DefaultPlatform()
+		p.Cores = i%4 + 1
+		p.Batch = 1 << (i % 3)
+		out[i] = p
+	}
+	return out
+}
+
+// dseSweepWorkload measures configs/s at the given sweep width, per-config
+// rebuild vs shared context.
+func dseSweepWorkload(model string, width int) (dseSweepRow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return dseSweepRow{}, err
+	}
+	platforms := dseSweepPlatforms(width)
+	rebuild := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range platforms {
+				eval.MustNew(g, p, tiling.DefaultConfig())
+			}
+		}
+	})
+	shared := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gc := eval.NewGraphContext(g, tiling.DefaultConfig())
+			for _, p := range platforms {
+				gc.MustNewEvaluator(p)
+			}
+		}
+	})
+	row := dseSweepRow{
+		Model:                model,
+		Width:                width,
+		RebuildConfigsPerSec: float64(width) * float64(rebuild.N) / rebuild.T.Seconds(),
+		SharedConfigsPerSec:  float64(width) * float64(shared.N) / shared.T.Seconds(),
+	}
+	if row.RebuildConfigsPerSec > 0 {
+		row.Speedup = row.SharedConfigsPerSec / row.RebuildConfigsPerSec
+	}
+	return row, nil
 }
 
 // orchWorkload mirrors BenchmarkSearchOrchestrator: K islands, each with
@@ -441,6 +567,7 @@ func main() {
 	out := flag.String("o", "BENCH_coldpath.json", "output path")
 	searchOut := flag.String("so", "BENCH_searchpath.json", "search_path output path (empty to skip)")
 	orchOut := flag.String("orch", "BENCH_searchorch.json", "search_orchestrator output path (empty to skip)")
+	dseOut := flag.String("dse", "BENCH_dse.json", "dse shared-context workload output path (empty to skip)")
 	quick := flag.Bool("quick", false, "reduced budgets for CI smoke runs")
 	flag.Parse()
 
@@ -493,6 +620,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *dseOut != "" && !runDSEWorkload(*dseOut) {
+		os.Exit(1)
+	}
 
 	if *searchOut == "" {
 		return
@@ -581,4 +712,61 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *orchOut)
+}
+
+// runDSEWorkload runs the dse shared-context workload and writes dseOut,
+// returning false when a contract assertion failed.
+func runDSEWorkload(dseOut string) bool {
+	drep := dseReport{
+		Bench:  "dse",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Note:   "evaluator construction standalone (eval.New) vs from a warm shared GraphContext, and sweep configs/s with per-config rebuild vs one shared context per sweep",
+	}
+	failed := false
+	for _, model := range models.Names() {
+		row, err := dseConstructWorkload(model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: dse construct %s: %v\n", model, err)
+			os.Exit(1)
+		}
+		fmt.Printf("dse   %-12s standalone %8.0f ns  shared %6.0f ns  (%.1fx)\n",
+			row.Model, row.StandaloneNsPerOp, row.SharedNsPerOp, row.Speedup)
+		if row.Speedup < 5 {
+			fmt.Fprintf(os.Stderr, "benchreport: dse: %s shared-context construction only %.1fx faster than standalone (want >= 5x)\n",
+				row.Model, row.Speedup)
+			failed = true
+		}
+		drep.Construct = append(drep.Construct, row)
+	}
+	for _, model := range searchGAModels {
+		for _, width := range []int{1, 8, 64} {
+			row, err := dseSweepWorkload(model, width)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: dse sweep %s: %v\n", model, err)
+				os.Exit(1)
+			}
+			fmt.Printf("dse   %-12s width=%-3d rebuild %8.0f cfg/s  shared %8.0f cfg/s  (%.1fx)\n",
+				row.Model, row.Width, row.RebuildConfigsPerSec, row.SharedConfigsPerSec, row.Speedup)
+			if width >= 8 && row.SharedConfigsPerSec <= row.RebuildConfigsPerSec {
+				fmt.Fprintf(os.Stderr, "benchreport: dse: %s width %d shared sweep (%.0f cfg/s) does not beat rebuild (%.0f cfg/s)\n",
+					row.Model, row.Width, row.SharedConfigsPerSec, row.RebuildConfigsPerSec)
+				failed = true
+			}
+			drep.Sweep = append(drep.Sweep, row)
+		}
+	}
+	dbuf, err := json.MarshalIndent(drep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: marshal dse: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(dseOut, append(dbuf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: write dse: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", dseOut)
+	return !failed
 }

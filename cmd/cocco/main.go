@@ -49,6 +49,7 @@ func main() {
 		cores    = flag.Int("cores", 1, "number of accelerator cores")
 		batch    = flag.Int("batch", 1, "batch size")
 		workers  = flag.Int("workers", 0, "evaluation goroutines (0 = all CPUs); results are identical for any value")
+		tcfgFlag = flag.String("tiling", tiling.DefaultConfig().String(), "base tile as HxW (e.g. 2x2)")
 		show     = flag.Int("show", 8, "number of subgraphs to print from the best partition")
 		dump     = flag.String("dump", "", "write the best partition as JSON to this path")
 
@@ -66,10 +67,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tcfg, err := tiling.ParseConfig(*tcfgFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	platform := hw.DefaultPlatform()
 	platform.Cores = *cores
 	platform.Batch = *batch
-	ev, err := eval.New(g, platform, tiling.DefaultConfig())
+	ev, err := eval.New(g, platform, tcfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,8 @@
-// memory_dse co-explores the shared-buffer capacity and graph partition for
-// GoogleNet (the Table 2 scenario) and sweeps the preference α to show the
-// capacity–energy trade-off (the Figure 14 scenario).
+// memory_dse explores the shared-buffer capacity axis for GoogleNet (the
+// Table 2 scenario) with the batched DSE driver: every capacity candidate
+// is one grid point, all points share a single evaluation GraphContext, and
+// the consolidated report is the capacity–energy Pareto front (the trade-off
+// Figure 14 reads off the α sweep).
 package main
 
 import (
@@ -8,43 +10,37 @@ import (
 	"log"
 
 	"cocco/internal/core"
+	"cocco/internal/dse"
 	"cocco/internal/eval"
 	"cocco/internal/hw"
-	"cocco/internal/models"
-	"cocco/internal/report"
-	"cocco/internal/tiling"
+	"cocco/internal/search"
 )
 
 func main() {
-	g := models.MustBuild("googlenet")
-	ev, err := eval.New(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+	grid := dse.Grid{
+		Models:      []string{"googlenet"},
+		Kinds:       []hw.BufferKind{hw.SharedBuffer},
+		GlobalBytes: []int64{256 * hw.KiB, 512 * hw.KiB, 1024 * hw.KiB, 2048 * hw.KiB, 3072 * hw.KiB},
+	}
+	rep, err := dse.Run(dse.Options{
+		Grid: grid,
+		Search: search.Options{
+			Core: core.Options{
+				Seed:       42,
+				Population: 100,
+				MaxSamples: 10_000,
+				Objective:  eval.Objective{Metric: eval.MetricEnergy},
+			},
+		},
+		Workers: 4, // worker count never changes results, only wall-clock
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("co-exploring shared buffer capacity for googlenet (cost = bytes + α·pJ):")
-	fmt.Printf("%-8s %-10s %-10s %-10s %s\n", "alpha", "capacity", "energy", "EMA", "subgraphs")
-	for _, alpha := range []float64{5e-4, 1e-3, 2e-3, 5e-3, 1e-2} {
-		best, _, err := core.Run(ev, core.Options{
-			Seed:       42,
-			Population: 100,
-			MaxSamples: 20_000,
-			Objective:  eval.Objective{Metric: eval.MetricEnergy, Alpha: alpha},
-			Mem: core.MemSearch{
-				Search: true,
-				Kind:   hw.SharedBuffer,
-				Global: hw.PaperSharedRange(),
-			},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-8g %-10s %-10s %-10s %d\n",
-			alpha,
-			report.Bytes(best.Mem.GlobalBytes),
-			report.MJ(best.Res.EnergyPJ),
-			report.Bytes(best.Res.EMABytes),
-			best.P.NumSubgraphs())
-	}
-	fmt.Println("\nlarger α buys lower energy with more on-chip capacity (Figure 14's trend)")
+	fmt.Println("shared-buffer capacity sweep for googlenet (energy objective):")
+	fmt.Println(rep.Table())
+	fmt.Println(rep.FrontTable())
+	fmt.Println("larger capacities buy lower energy until the fusion opportunities saturate —")
+	fmt.Println("the same capacity–energy trade-off the paper's Figure 14 exposes via α")
 }

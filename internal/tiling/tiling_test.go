@@ -201,3 +201,21 @@ func TestGCDLCM(t *testing.T) {
 		t.Errorf("reduceRat(6,-4) = %v", r)
 	}
 }
+
+func TestParseConfig(t *testing.T) {
+	c, err := ParseConfig("4x2")
+	if err != nil || c.BaseTileH != 4 || c.BaseTileW != 2 {
+		t.Fatalf("ParseConfig(4x2) = %+v, %v", c, err)
+	}
+	if c.String() != "4x2" {
+		t.Errorf("String() = %q", c.String())
+	}
+	if rt, err := ParseConfig(DefaultConfig().String()); err != nil || rt != DefaultConfig() {
+		t.Errorf("round-trip failed: %+v, %v", rt, err)
+	}
+	for _, bad := range []string{"", "x", "2", "0x2", "2x0", "-1x2", "ax2"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", bad)
+		}
+	}
+}
