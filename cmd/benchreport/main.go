@@ -34,6 +34,14 @@
 // asserts the split's contract — warm shared construction at least 5x
 // faster than standalone on every zoo model, and the shared sweep beating
 // rebuild at widths >= 8 — and exits non-zero if either fails.
+//
+// A sixth workload, cachewarm (-cachewarm, BENCH_cachewarm.json), measures
+// the persistent cost cache: the first search over a fixed partition set,
+// cold vs warm-started from a prior run's snapshot (decode + keep-first
+// load included in the warm timing), per zoo model. It asserts the warm
+// first search is at least 2x the cold one on the large dense/cell-wired
+// models (where per-subgraph costing dominates) and exits non-zero
+// otherwise.
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"cocco/internal/models"
 	"cocco/internal/partition"
 	"cocco/internal/search"
+	"cocco/internal/serialize"
 	"cocco/internal/tiling"
 )
 
@@ -242,6 +251,165 @@ type dseReport struct {
 	Note      string            `json:"note"`
 	Construct []dseConstructRow `json:"construct"`
 	Sweep     []dseSweepRow     `json:"sweep"`
+}
+
+// cachewarmRow is one zoo model of the cachewarm workload: the first search
+// over a fixed partition set, cold vs warm-started from a prior run's
+// cost-cache snapshot (decode + LoadCache included in the warm timing).
+type cachewarmRow struct {
+	Model           string  `json:"model"`
+	ColdEvalsPerSec float64 `json:"cold_evals_per_sec"`
+	WarmEvalsPerSec float64 `json:"warm_evals_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	// SnapshotEntries and SnapshotBytes size the warm-start asset.
+	SnapshotEntries int `json:"snapshot_entries"`
+	SnapshotBytes   int `json:"snapshot_bytes"`
+}
+
+// cachewarmReport is the cachewarm workload file (BENCH_cachewarm.json).
+type cachewarmReport struct {
+	Bench  string         `json:"bench"`
+	Go     string         `json:"go"`
+	GOOS   string         `json:"goos"`
+	GOARCH string         `json:"goarch"`
+	NumCPU int            `json:"num_cpu"`
+	Note   string         `json:"note"`
+	Rows   []cachewarmRow `json:"cachewarm"`
+}
+
+// cachewarmFloorModels are the large dense/cell-wired zoo models the >=2x
+// warm-start floor is asserted on. Chain-style models (the resnets, vgg16)
+// still report their ratio but are not floored: their random partitions cut
+// into many small subgraphs whose cold costing is cheap relative to the
+// per-lookup work a warm hit still pays (key build + hash + probe), so
+// their structural gain sits around 1.4-2.1x. Dense adjacency makes the
+// per-subgraph footprint derivation expensive, which is exactly what the
+// snapshot elides.
+var cachewarmFloorModels = map[string]bool{
+	"densenet121": true,
+	"nasnet":      true,
+	"randwire-a":  true,
+	"randwire-b":  true,
+}
+
+// cachewarmWorkload measures one model's cold vs warm-loaded first search:
+// the same seeded partition set scored by a fresh evaluator, with the warm
+// side decoding and loading a snapshot exported from an identical prior run
+// before its first evaluation.
+func cachewarmWorkload(model string, nparts int) (cachewarmRow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return cachewarmRow{}, err
+	}
+	rng := rand.New(rand.NewSource(3))
+	parts := make([]*partition.Partition, nparts)
+	for i := range parts {
+		parts[i] = core.RandomPartition(g, rng, 0.3)
+	}
+	mem := defaultMem()
+
+	// The "prior run": evaluate the same workload once and snapshot.
+	prior := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+	for _, p := range parts {
+		prior.Partition(p, mem)
+	}
+	snap, err := prior.ExportCache()
+	if err != nil {
+		return cachewarmRow{}, err
+	}
+	data, err := serialize.EncodeCostCache(snap)
+	if err != nil {
+		return cachewarmRow{}, err
+	}
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+			for _, p := range parts {
+				ev.Partition(p, mem)
+			}
+		}
+	})
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
+			loaded, err := serialize.DecodeCostCache(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ev.LoadCache(loaded); err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range parts {
+				ev.Partition(p, mem)
+			}
+		}
+	})
+	row := cachewarmRow{
+		Model:           model,
+		ColdEvalsPerSec: float64(nparts) * float64(cold.N) / cold.T.Seconds(),
+		WarmEvalsPerSec: float64(nparts) * float64(warm.N) / warm.T.Seconds(),
+		SnapshotEntries: len(snap.Entries),
+		SnapshotBytes:   len(data),
+	}
+	if row.ColdEvalsPerSec > 0 {
+		row.Speedup = row.WarmEvalsPerSec / row.ColdEvalsPerSec
+	}
+	return row, nil
+}
+
+// cachewarmParts is the fixed partition-set size of the cachewarm workload.
+// Unlike the other workloads it does NOT shrink under -quick: the >=2x floor
+// is a claim about this exact workload, and a smaller set amortizes the
+// warm side's decode+load over too few evaluations to make that claim.
+const cachewarmParts = 8
+
+// runCachewarmWorkload runs the warm-start workload over the zoo and writes
+// out, returning false when the floor assertion failed.
+func runCachewarmWorkload(out string) bool {
+	rep := cachewarmReport{
+		Bench:  "cachewarm",
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Note:   "first search over a fixed partition set, cold vs warm-started from a prior run's cost-cache snapshot (decode+load included in warm timing); >=2x floor asserted on the large dense/cell-wired models (chain-style models cost small subgraphs too cheaply for the floor)",
+	}
+	failed := false
+	for _, model := range models.Names() {
+		row, err := cachewarmWorkload(model, cachewarmParts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: cachewarm %s: %v\n", model, err)
+			os.Exit(1)
+		}
+		fmt.Printf("warm  %-12s cold %9.0f evals/s  warm %9.0f evals/s  (%.1fx, %d entries, %s)\n",
+			row.Model, row.ColdEvalsPerSec, row.WarmEvalsPerSec, row.Speedup, row.SnapshotEntries, fmtBytes(row.SnapshotBytes))
+		if cachewarmFloorModels[model] && row.Speedup < 2 {
+			fmt.Fprintf(os.Stderr, "benchreport: cachewarm: %s warm-loaded first search only %.2fx cold (want >= 2x)\n",
+				model, row.Speedup)
+			failed = true
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: marshal cachewarm: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: write cachewarm: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+	return !failed
+}
+
+// fmtBytes renders a byte count for the progress lines.
+func fmtBytes(n int) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	}
+	return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
 }
 
 // dseConstructWorkload measures standalone vs warm-shared-context evaluator
@@ -568,6 +736,7 @@ func main() {
 	searchOut := flag.String("so", "BENCH_searchpath.json", "search_path output path (empty to skip)")
 	orchOut := flag.String("orch", "BENCH_searchorch.json", "search_orchestrator output path (empty to skip)")
 	dseOut := flag.String("dse", "BENCH_dse.json", "dse shared-context workload output path (empty to skip)")
+	cachewarmOut := flag.String("cachewarm", "BENCH_cachewarm.json", "cache warm-start workload output path (empty to skip)")
 	quick := flag.Bool("quick", false, "reduced budgets for CI smoke runs")
 	flag.Parse()
 
@@ -622,6 +791,10 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 
 	if *dseOut != "" && !runDSEWorkload(*dseOut) {
+		os.Exit(1)
+	}
+
+	if *cachewarmOut != "" && !runCachewarmWorkload(*cachewarmOut) {
 		os.Exit(1)
 	}
 

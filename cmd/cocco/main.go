@@ -11,9 +11,12 @@
 //	cocco -model nasnet -cores 4 -batch 8 -search -kind shared
 //	cocco -model resnet152 -islands 4 -migrate-every 5 -checkpoint run.ckpt
 //	cocco -model resnet152 -islands 4 -migrate-every 5 -checkpoint run.ckpt -resume run.ckpt
+//	cocco -model resnet152 -cache-save run.cache
+//	cocco -model resnet152 -cache-load run.cache -samples 100000   # warm start
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -60,6 +63,8 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write a resumable snapshot to this path at every migration barrier")
 		resume     = flag.String("resume", "", "resume from this snapshot if it exists (same flags required)")
 		maxRounds  = flag.Int("max-rounds", 0, "pause after this many migration rounds (0 = run to completion)")
+		cacheLoad  = flag.String("cache-load", "", "warm-start from this cost-cache snapshot if it exists (same model/platform/tiling required; results are identical, only faster)")
+		cacheSave  = flag.String("cache-save", "", "write the cost cache to this path after the search, for future -cache-load runs")
 	)
 	flag.Parse()
 
@@ -77,6 +82,21 @@ func main() {
 	ev, err := eval.New(g, platform, tcfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cacheLoad != "" {
+		snap, err := serialize.ReadCostCacheFile(*cacheLoad)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no cache snapshot at %s; starting cold\n", *cacheLoad)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			n, err := ev.LoadCache(snap)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("warm start: loaded %d cached subgraph costs from %s\n", n, *cacheLoad)
+		}
 	}
 
 	obj := eval.Objective{Metric: eval.MetricEnergy, Alpha: *alpha}
@@ -168,6 +188,17 @@ func main() {
 	fmt.Printf("  subgraphs %d\n", best.P.NumSubgraphs())
 
 	printPartition(os.Stdout, ev, best.P, *show)
+
+	if *cacheSave != "" {
+		snap, err := ev.ExportCache()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := serialize.WriteCostCacheFile(*cacheSave, snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote cost-cache snapshot %s (%d subgraphs)\n", *cacheSave, len(snap.Entries))
+	}
 
 	if *dump != "" {
 		data, err := serialize.EncodePartition(best.P)

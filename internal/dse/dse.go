@@ -19,9 +19,17 @@
 // are both deterministic, an interrupted-and-resumed sweep produces a
 // Pareto front bit-identical to an uninterrupted run (pinned by
 // TestSweepResumeParetoIdentical).
+//
+// Checkpointed sweeps are also warm-startable: each config persists its
+// evaluator's cost-cache snapshot to <ID>.cache on completion or pause and
+// loads it (keep-first, bit-identical results) before searching, so resumed
+// or re-run grid points skip the cold-path subgraph costing a prior run
+// already paid. The shared GraphContext covers the per-model cold half;
+// these files cover the per-(platform, tiling) warm half.
 package dse
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -105,9 +113,16 @@ type Options struct {
 	// is self-contained — only the completion order of OnConfigDone.
 	Workers int
 	// CheckpointDir, when non-empty, makes the sweep resumable: per-config
-	// search checkpoints and completed-outcome files live there. Required
-	// when Search.MaxRounds is set.
+	// search checkpoints, completed-outcome files, and cost-cache snapshots
+	// live there. Required when Search.MaxRounds is set.
 	CheckpointDir string
+	// DisableCacheSnapshots turns off the per-config cost-cache warm-start
+	// files (<ID>.cache) a checkpointed sweep otherwise writes on completion
+	// or pause and loads before searching. Loads are keep-first and never
+	// change results — the snapshot only changes how fast the first
+	// evaluations go — so the flag exists for ablation and disk frugality,
+	// not correctness.
+	DisableCacheSnapshots bool
 	// OnConfigDone, when non-nil, observes every outcome as it lands
 	// (serialized under a lock). Returning an error aborts the sweep after
 	// in-flight configs finish; already-completed outcomes keep their
@@ -209,10 +224,13 @@ func Run(opt Options) (*Report, error) {
 // runConfig searches one grid point, honoring persisted outcomes and
 // checkpoints when the sweep has a checkpoint directory.
 func runConfig(opt Options, gc *eval.GraphContext, cfg Config) (*Outcome, error) {
-	var donePath, ckptPath string
+	var donePath, ckptPath, cachePath string
 	if opt.CheckpointDir != "" {
 		donePath = filepath.Join(opt.CheckpointDir, cfg.ID()+".done.json")
 		ckptPath = filepath.Join(opt.CheckpointDir, cfg.ID()+".ckpt")
+		if !opt.DisableCacheSnapshots {
+			cachePath = filepath.Join(opt.CheckpointDir, cfg.ID()+".cache")
+		}
 		if out, err := loadOutcome(gc, cfg, donePath); err != nil {
 			return nil, err
 		} else if out != nil {
@@ -226,6 +244,19 @@ func runConfig(opt Options, gc *eval.GraphContext, cfg Config) (*Outcome, error)
 	ev, err := gc.NewEvaluator(platform)
 	if err != nil {
 		return nil, fmt.Errorf("dse: config %s: %w", cfg.ID(), err)
+	}
+	// Warm-start: a snapshot from a prior run (or a prior pause of this
+	// config) pre-fills the cost cache. Keep-first load semantics make this
+	// invisible to results — the search trajectory is bit-identical either
+	// way — so a damaged or foreign file is an error, not a cold start.
+	if cachePath != "" {
+		if snap, err := serialize.ReadCostCacheFile(cachePath); err == nil {
+			if _, lerr := ev.LoadCache(snap); lerr != nil {
+				return nil, fmt.Errorf("dse: config %s: %s: %w", cfg.ID(), cachePath, lerr)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("dse: config %s: %w", cfg.ID(), err)
+		}
 	}
 
 	sopt := opt.Search
@@ -242,6 +273,19 @@ func runConfig(opt Options, gc *eval.GraphContext, cfg Config) (*Outcome, error)
 	best, stats, serr := search.RunOrResume(ev, sopt, ckptPath)
 	if stats == nil {
 		return nil, fmt.Errorf("dse: config %s: %w", cfg.ID(), serr)
+	}
+	// Persist the warm half regardless of how the search ended: a paused
+	// config resumes with its cache hot, and a completed one leaves the
+	// snapshot behind for future sweeps over the same point (different
+	// budgets, more islands) to start warm.
+	if cachePath != "" {
+		snap, err := ev.ExportCache()
+		if err != nil {
+			return nil, fmt.Errorf("dse: config %s: %w", cfg.ID(), err)
+		}
+		if err := serialize.WriteCostCacheFile(cachePath, snap); err != nil {
+			return nil, fmt.Errorf("dse: config %s: %w", cfg.ID(), err)
+		}
 	}
 	out := &Outcome{Config: cfg, Samples: stats.Samples, Resumed: resumed}
 	if best != nil {
@@ -318,12 +362,7 @@ func saveOutcome(gc *eval.GraphContext, cfg Config, out *Outcome, path string) e
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("dse: write outcome: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := serialize.AtomicWriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("dse: write outcome: %w", err)
 	}
 	return nil

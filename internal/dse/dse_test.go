@@ -10,6 +10,7 @@ import (
 	"cocco/internal/core"
 	"cocco/internal/hw"
 	"cocco/internal/search"
+	"cocco/internal/serialize"
 	"cocco/internal/tiling"
 )
 
@@ -211,6 +212,89 @@ func TestSweepSkipsCompleted(t *testing.T) {
 	// Completed configs leave no search checkpoints behind.
 	if m, _ := filepath.Glob(filepath.Join(dir, "*.ckpt")); len(m) != 0 {
 		t.Fatalf("stale checkpoints after completed sweep: %v", m)
+	}
+}
+
+// TestSweepWritesCacheSnapshots: a checkpointed sweep leaves one decodable
+// cost-cache snapshot per config, carrying that config's fingerprint, and a
+// rerun warm-starts from them without changing any outcome.
+func TestSweepWritesCacheSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	grid := Grid{
+		Models:      []string{"googlenet"},
+		GlobalBytes: []int64{256 * hw.KiB, 512 * hw.KiB},
+		WeightBytes: []int64{288 * hw.KiB},
+	}
+	first, err := Run(Options{Grid: grid, Search: testSearch(), CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs, _ := grid.Configs()
+	for _, cfg := range configs {
+		path := filepath.Join(dir, cfg.ID()+".cache")
+		snap, err := serialize.ReadCostCacheFile(path)
+		if err != nil {
+			t.Fatalf("config %s: %v", cfg.ID(), err)
+		}
+		if len(snap.Entries) == 0 {
+			t.Errorf("config %s: empty cache snapshot", cfg.ID())
+		}
+	}
+	// Fresh checkpoint dir seeded with only the cache files: the whole grid
+	// re-searches from warm caches and must reproduce every outcome.
+	warmDir := t.TempDir()
+	for _, cfg := range configs {
+		data, err := os.ReadFile(filepath.Join(dir, cfg.ID()+".cache"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(warmDir, cfg.ID()+".cache"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm, err := Run(Options{Grid: grid, Search: testSearch(), CheckpointDir: warmDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sweepCosts(warm), sweepCosts(first)) {
+		t.Fatalf("warm-started sweep diverges\n want %v\n got %v", sweepCosts(first), sweepCosts(warm))
+	}
+
+	// Opting out really opts out.
+	offDir := t.TempDir()
+	if _, err := Run(Options{Grid: grid, Search: testSearch(), CheckpointDir: offDir,
+		DisableCacheSnapshots: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(offDir, "*.cache")); len(m) != 0 {
+		t.Fatalf("cache snapshots written despite DisableCacheSnapshots: %v", m)
+	}
+}
+
+// TestSweepRejectsCorruptCacheSnapshot: a damaged per-config cache file
+// fails the sweep loudly instead of silently starting cold or loading junk.
+func TestSweepRejectsCorruptCacheSnapshot(t *testing.T) {
+	grid := Grid{
+		Models:      []string{"googlenet"},
+		GlobalBytes: []int64{256 * hw.KiB},
+		WeightBytes: []int64{288 * hw.KiB},
+	}
+	configs, _ := grid.Configs()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("not a cache snapshot at all")},
+		{"truncated magic", []byte("COCCACHE")},
+	} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, configs[0].ID()+".cache")
+		if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(Options{Grid: grid, Search: testSearch(), CheckpointDir: dir}); err == nil {
+			t.Errorf("%s: corrupt cache snapshot accepted", tc.name)
+		}
 	}
 }
 

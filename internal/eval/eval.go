@@ -13,6 +13,7 @@ package eval
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -159,8 +160,29 @@ func (s *cacheShard) lookupBytes(h uint64, key []byte) *SubgraphCost {
 	}
 }
 
+// guardArena panics if appending klen key bytes to a shard arena already
+// holding arenaLen bytes would push the new entry's offset+length past the
+// uint32 range cacheEntry stores. Without the guard the uint32 conversions
+// in insert/insertBytes silently truncate once a shard's arena crosses
+// 4 GiB, corrupting every later entry's key window.
+func guardArena(arenaLen, klen int) {
+	if int64(arenaLen)+int64(klen) > math.MaxUint32 {
+		panic(fmt.Sprintf("eval: cost-cache shard arena would grow to %d bytes, past the 4 GiB uint32 offset range", int64(arenaLen)+int64(klen)))
+	}
+}
+
+// guardEntries panics if a shard holding n entries cannot accept another:
+// slots store the 1-based entry index as an int32, so n+1 must stay within
+// int32 range or place silently aliases an earlier entry.
+func guardEntries(n int) {
+	if int64(n)+1 > math.MaxInt32 {
+		panic(fmt.Sprintf("eval: cost-cache shard entry count %d would overflow the int32 slot index", n+1))
+	}
+}
+
 // insert stores c under (h, key), which must not be present. Caller holds mu.
 func (s *cacheShard) insert(h uint64, key string, c *SubgraphCost) {
+	guardArena(len(s.arena), len(key))
 	off := len(s.arena)
 	s.arena = append(s.arena, key...)
 	s.place(h, uint32(off), uint32(len(key)), c)
@@ -169,6 +191,7 @@ func (s *cacheShard) insert(h uint64, key string, c *SubgraphCost) {
 // insertBytes is insert for a key held in a scratch buffer — the bytes go
 // straight into the arena, so the cold path never materializes a key string.
 func (s *cacheShard) insertBytes(h uint64, key []byte, c *SubgraphCost) {
+	guardArena(len(s.arena), len(key))
 	off := len(s.arena)
 	s.arena = append(s.arena, key...)
 	s.place(h, uint32(off), uint32(len(key)), c)
@@ -177,6 +200,7 @@ func (s *cacheShard) insertBytes(h uint64, key []byte, c *SubgraphCost) {
 // place records the entry whose key bytes were just appended to the arena at
 // off, growing the slot table at load factor 3/4. Caller holds mu.
 func (s *cacheShard) place(h uint64, off, klen uint32, c *SubgraphCost) {
+	guardEntries(len(s.entries))
 	if len(s.slots) == 0 {
 		s.slots = make([]int32, 64)
 	}

@@ -2,7 +2,6 @@ package search
 
 import (
 	"fmt"
-	"os"
 
 	"cocco/internal/core"
 	"cocco/internal/graph"
@@ -92,11 +91,7 @@ func (h *orchestrator) save(path string) error {
 	if err != nil {
 		return fmt.Errorf("search: checkpoint: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("search: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := serialize.AtomicWriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("search: checkpoint: %w", err)
 	}
 	return nil

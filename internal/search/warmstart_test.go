@@ -1,0 +1,75 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/models"
+)
+
+// TestWarmStartBitIdentical pins the cache-snapshot contract across the
+// model zoo: a search started from a loaded cost-cache snapshot returns the
+// bit-identical best genome and Stats a cold search returns. The snapshot
+// only changes which subgraph costs are computed vs looked up — never a
+// cost value, never the search trajectory. Each model is checked against
+// two snapshots: one primed by the identical run (every lookup warm) and
+// one primed by a different-seed run (partial overlap, the realistic case).
+func TestWarmStartBitIdentical(t *testing.T) {
+	for _, model := range models.Names() {
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			opt := Options{Core: core.Options{
+				Seed: 42, Workers: 2, Population: 30, MaxSamples: 600,
+				Objective: eval.Objective{Metric: eval.MetricEMA},
+				Mem:       core.MemSearch{Fixed: fixedMem()},
+			}, Islands: 1}
+
+			coldBest, coldStats, err := Run(evaluatorFor(t, model), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Snapshot A: primed by the identical run — full coverage.
+			primer := evaluatorFor(t, model)
+			if _, _, err := Run(primer, opt); err != nil {
+				t.Fatal(err)
+			}
+			full, err := primer.ExportCache()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Snapshot B: primed by a different seed — partial coverage.
+			other := evaluatorFor(t, model)
+			otherOpt := opt
+			otherOpt.Core.Seed = 7
+			if _, _, err := Run(other, otherOpt); err != nil {
+				t.Fatal(err)
+			}
+			partial, err := other.ExportCache()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, tc := range []struct {
+				name string
+				snap *eval.CacheSnapshot
+			}{{"full-overlap", full}, {"partial-overlap", partial}} {
+				warm := evaluatorFor(t, model)
+				if _, err := warm.LoadCache(tc.snap); err != nil {
+					t.Fatal(err)
+				}
+				warmBest, warmStats, err := Run(warm, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameGenome(t, tc.name, coldBest, warmBest)
+				if !reflect.DeepEqual(coldStats, warmStats) {
+					t.Errorf("%s: stats differ: cold %+v warm %+v", tc.name, coldStats, warmStats)
+				}
+			}
+		})
+	}
+}

@@ -147,10 +147,12 @@ type CheckpointJSON struct {
 	Islands    []IslandJSON `json:"islands"`
 }
 
-// EncodeCheckpoint marshals a snapshot, stamping the current version.
+// EncodeCheckpoint marshals a snapshot, stamping the current version on the
+// wire form only — the caller's struct is never mutated.
 func EncodeCheckpoint(c *CheckpointJSON) ([]byte, error) {
-	c.Version = CheckpointVersion
-	out, err := json.MarshalIndent(c, "", "  ")
+	stamped := *c
+	stamped.Version = CheckpointVersion
+	out, err := json.MarshalIndent(&stamped, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("serialize: checkpoint: %w", err)
 	}

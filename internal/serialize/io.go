@@ -1,0 +1,53 @@
+package serialize
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile durably replaces path with data: write to a unique temp
+// file in the same directory, fsync it, rename over path, and best-effort
+// fsync the directory so the rename itself survives a crash. On any error
+// the temp file is removed and path is untouched — a reader never observes
+// a partial or empty file where a complete one is expected. This is the one
+// write path for checkpoints, sweep outcome files, and cache snapshots; the
+// bare os.WriteFile+os.Rename it replaces could surface a zero-length
+// "done" file after a crash between the write and the data reaching disk.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serialize: atomic write %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("serialize: atomic write %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("serialize: atomic write %s: %w", path, err)
+	}
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("serialize: atomic write %s: %w", path, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("serialize: atomic write %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serialize: atomic write %s: %w", path, err)
+	}
+	// Sync the directory so the rename is durable. Failure here is not
+	// fatal — the file content is already safe and correctly named — and
+	// some filesystems refuse directory fsync entirely.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

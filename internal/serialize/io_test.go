@@ -1,0 +1,84 @@
+package serialize
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// noTmpFiles asserts the directory holds exactly the named files — no
+// leaked *.tmp* from failed or successful atomic writes.
+func noTmpFiles(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) != len(want) {
+		t.Errorf("dir holds %v, want %v", names, want)
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	if err := AtomicWriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Errorf("content %q, want %q", got, "first")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("perm %v, want 0644", fi.Mode().Perm())
+	}
+
+	// Overwrite replaces content atomically.
+	if err := AtomicWriteFile(path, []byte("second"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Errorf("after overwrite: %q, want %q", got, "second")
+	}
+	noTmpFiles(t, dir, "out.bin")
+}
+
+func TestAtomicWriteFileErrorsLeaveNoDebris(t *testing.T) {
+	dir := t.TempDir()
+
+	// Target directory does not exist: CreateTemp fails up front.
+	missing := filepath.Join(dir, "nope", "out.bin")
+	if err := AtomicWriteFile(missing, []byte("x"), 0o644); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+
+	// Rename onto an existing non-empty directory fails after the temp file
+	// is written; the temp file must be cleaned up and the directory kept.
+	clash := filepath.Join(dir, "clash")
+	if err := os.MkdirAll(filepath.Join(clash, "occupant"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(clash, []byte("x"), 0o644); err == nil {
+		t.Error("rename onto a non-empty directory succeeded")
+	}
+	if fi, err := os.Stat(clash); err != nil || !fi.IsDir() {
+		t.Errorf("existing directory was damaged: fi=%v err=%v", fi, err)
+	}
+	noTmpFiles(t, dir, "clash")
+}

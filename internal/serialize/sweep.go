@@ -39,10 +39,12 @@ type SweepOutcomeJSON struct {
 	Res      *ResultJSON `json:"res,omitempty"`
 }
 
-// EncodeSweepOutcome marshals an outcome, stamping the current version.
+// EncodeSweepOutcome marshals an outcome, stamping the current version on
+// the wire form only — the caller's struct is never mutated.
 func EncodeSweepOutcome(o *SweepOutcomeJSON) ([]byte, error) {
-	o.Version = SweepOutcomeVersion
-	out, err := json.MarshalIndent(o, "", "  ")
+	stamped := *o
+	stamped.Version = SweepOutcomeVersion
+	out, err := json.MarshalIndent(&stamped, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("serialize: sweep outcome: %w", err)
 	}
