@@ -241,16 +241,30 @@ type dseSweepRow struct {
 	Speedup              float64 `json:"speedup"`
 }
 
+// dseCacheShareRow is one (model, width) of the cacheshare dimension:
+// sweep throughput in configs/s where every config EVALUATES a fixed
+// seeded partition set, with the subgraph-cost cache shared across the
+// sweep's evaluators (one GraphContext) vs private per config (a fresh
+// context per config, so each pays its own cold costing).
+type dseCacheShareRow struct {
+	Model                string  `json:"model"`
+	Width                int     `json:"width"`
+	PrivateConfigsPerSec float64 `json:"private_configs_per_sec"`
+	SharedConfigsPerSec  float64 `json:"shared_configs_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
 // dseReport is the dse workload file (BENCH_dse.json).
 type dseReport struct {
-	Bench     string            `json:"bench"`
-	Go        string            `json:"go"`
-	GOOS      string            `json:"goos"`
-	GOARCH    string            `json:"goarch"`
-	NumCPU    int               `json:"num_cpu"`
-	Note      string            `json:"note"`
-	Construct []dseConstructRow `json:"construct"`
-	Sweep     []dseSweepRow     `json:"sweep"`
+	Bench      string             `json:"bench"`
+	Go         string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	Note       string             `json:"note"`
+	Construct  []dseConstructRow  `json:"construct"`
+	Sweep      []dseSweepRow      `json:"sweep"`
+	CacheShare []dseCacheShareRow `json:"cacheshare"`
 }
 
 // cachewarmRow is one zoo model of the cachewarm workload: the first search
@@ -487,6 +501,59 @@ func dseSweepWorkload(model string, width int) (dseSweepRow, error) {
 	}
 	if row.RebuildConfigsPerSec > 0 {
 		row.Speedup = row.SharedConfigsPerSec / row.RebuildConfigsPerSec
+	}
+	return row, nil
+}
+
+// cacheShareWorkload measures sweep throughput where each config does real
+// evaluation work — a fixed seeded partition set scored per config — with
+// the cost cache shared across the sweep (one GraphContext: config #1 pays
+// cold costing, every sibling hits warm) vs private per config (a fresh
+// context each, so every config re-derives the identical costs). The
+// private side re-pays context construction too, but partition costing
+// dominates it by orders of magnitude at these widths.
+func cacheShareWorkload(model string, width, nparts int) (dseCacheShareRow, error) {
+	g, err := models.Build(model)
+	if err != nil {
+		return dseCacheShareRow{}, err
+	}
+	rng := rand.New(rand.NewSource(29))
+	parts := make([]*partition.Partition, nparts)
+	for i := range parts {
+		parts[i] = core.RandomPartition(g, rng, 0.3)
+	}
+	mem := defaultMem()
+	platforms := dseSweepPlatforms(width)
+
+	private := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range platforms {
+				ev := eval.NewGraphContext(g, tiling.DefaultConfig()).MustNewEvaluator(p)
+				for _, pt := range parts {
+					ev.Partition(pt, mem)
+				}
+			}
+		}
+	})
+	shared := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gc := eval.NewGraphContext(g, tiling.DefaultConfig())
+			for _, p := range platforms {
+				ev := gc.MustNewEvaluator(p)
+				for _, pt := range parts {
+					ev.Partition(pt, mem)
+				}
+			}
+		}
+	})
+	row := dseCacheShareRow{
+		Model:                model,
+		Width:                width,
+		PrivateConfigsPerSec: float64(width) * float64(private.N) / private.T.Seconds(),
+		SharedConfigsPerSec:  float64(width) * float64(shared.N) / shared.T.Seconds(),
+	}
+	if row.PrivateConfigsPerSec > 0 {
+		row.Speedup = row.SharedConfigsPerSec / row.PrivateConfigsPerSec
 	}
 	return row, nil
 }
@@ -896,7 +963,7 @@ func runDSEWorkload(dseOut string) bool {
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
-		Note:   "evaluator construction standalone (eval.New) vs from a warm shared GraphContext, and sweep configs/s with per-config rebuild vs one shared context per sweep",
+		Note:   "evaluator construction standalone (eval.New) vs from a warm shared GraphContext; sweep configs/s with per-config rebuild vs one shared context per sweep; cacheshare sweep configs/s (each config evaluates a seeded partition set) with the geometry-keyed cost cache shared across the sweep vs private per config (fresh context each, which re-pays context construction too — partition costing dominates it)",
 	}
 	failed := false
 	for _, model := range models.Names() {
@@ -929,6 +996,23 @@ func runDSEWorkload(dseOut string) bool {
 				failed = true
 			}
 			drep.Sweep = append(drep.Sweep, row)
+		}
+	}
+	for _, model := range models.Names() {
+		for _, width := range []int{1, 8, 64} {
+			row, err := cacheShareWorkload(model, width, 3)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: dse cacheshare %s: %v\n", model, err)
+				os.Exit(1)
+			}
+			fmt.Printf("dse   %-12s width=%-3d private %8.1f cfg/s  cacheshared %8.1f cfg/s  (%.1fx)\n",
+				row.Model, row.Width, row.PrivateConfigsPerSec, row.SharedConfigsPerSec, row.Speedup)
+			if width >= 8 && row.SharedConfigsPerSec <= row.PrivateConfigsPerSec {
+				fmt.Fprintf(os.Stderr, "benchreport: dse: %s width %d shared-cache sweep (%.1f cfg/s) does not beat private caches (%.1f cfg/s)\n",
+					row.Model, row.Width, row.SharedConfigsPerSec, row.PrivateConfigsPerSec)
+				failed = true
+			}
+			drep.CacheShare = append(drep.CacheShare, row)
 		}
 	}
 	dbuf, err := json.MarshalIndent(drep, "", "  ")

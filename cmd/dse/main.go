@@ -62,9 +62,9 @@ func main() {
 		islands   = flag.Int("islands", 1, "GA islands per config")
 		migEvery  = flag.Int("migrate-every", 5, "generations between ring migrations")
 		migrants  = flag.Int("migrants", 2, "genomes each island sends per migration")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-config checkpoints, outcomes, and cost-cache snapshots (enables resume + warm starts)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-config checkpoints and outcomes plus per-geometry cost-cache snapshots (enables resume + warm starts)")
 		maxRounds = flag.Int("max-rounds", 0, "pause each config after this many rounds (0 = run to completion; needs -checkpoint-dir)")
-		noCache   = flag.Bool("no-cache-snapshots", false, "skip the per-config cost-cache warm-start files (results are identical either way)")
+		noCache   = flag.Bool("no-cache-snapshots", false, "skip the per-geometry cost-cache warm-start files (results are identical either way)")
 
 		csvPath = flag.String("csv", "", "also write the full sweep table as CSV to this path")
 		full    = flag.Bool("full", false, "print the full sweep table, not just the Pareto fronts")
@@ -106,6 +106,7 @@ func main() {
 		Workers:               *workers,
 		CheckpointDir:         *ckptDir,
 		DisableCacheSnapshots: *noCache,
+		Warnf:                 log.Printf,
 		OnConfigDone: func(o dse.Outcome) error {
 			cost := "-"
 			if o.Feasible {

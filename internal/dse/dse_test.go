@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
 	"cocco/internal/core"
@@ -215,9 +217,10 @@ func TestSweepSkipsCompleted(t *testing.T) {
 	}
 }
 
-// TestSweepWritesCacheSnapshots: a checkpointed sweep leaves one decodable
-// cost-cache snapshot per config, carrying that config's fingerprint, and a
-// rerun warm-starts from them without changing any outcome.
+// TestSweepWritesCacheSnapshots: a checkpointed sweep leaves ONE decodable
+// cost-cache snapshot per (model, tiling, core geometry) group — not one
+// per config — and a rerun warm-starts from it without changing any
+// outcome.
 func TestSweepWritesCacheSnapshots(t *testing.T) {
 	dir := t.TempDir()
 	grid := Grid{
@@ -230,27 +233,28 @@ func TestSweepWritesCacheSnapshots(t *testing.T) {
 		t.Fatal(err)
 	}
 	configs, _ := grid.Configs()
-	for _, cfg := range configs {
-		path := filepath.Join(dir, cfg.ID()+".cache")
-		snap, err := serialize.ReadCostCacheFile(path)
-		if err != nil {
-			t.Fatalf("config %s: %v", cfg.ID(), err)
-		}
-		if len(snap.Entries) == 0 {
-			t.Errorf("config %s: empty cache snapshot", cfg.ID())
-		}
+	groupPath := groupCachePath(dir, configs[0], hw.DefaultPlatform().Core)
+	snap, err := serialize.ReadCostCacheFile(groupPath)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Fresh checkpoint dir seeded with only the cache files: the whole grid
-	// re-searches from warm caches and must reproduce every outcome.
+	if len(snap.Entries) == 0 {
+		t.Error("empty geometry-group cache snapshot")
+	}
+	// One file per geometry group: this single-model single-geometry sweep
+	// must leave exactly one .cache file, whatever its config count.
+	if m, _ := filepath.Glob(filepath.Join(dir, "*.cache")); len(m) != 1 {
+		t.Fatalf("want exactly 1 geometry-group cache file, got %v", m)
+	}
+	// Fresh checkpoint dir seeded with only the group snapshot: the whole
+	// grid re-searches from the warm cache and must reproduce every outcome.
 	warmDir := t.TempDir()
-	for _, cfg := range configs {
-		data, err := os.ReadFile(filepath.Join(dir, cfg.ID()+".cache"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(filepath.Join(warmDir, cfg.ID()+".cache"), data, 0o644); err != nil {
-			t.Fatal(err)
-		}
+	data, err := os.ReadFile(groupPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(groupCachePath(warmDir, configs[0], hw.DefaultPlatform().Core), data, 0o644); err != nil {
+		t.Fatal(err)
 	}
 	warm, err := Run(Options{Grid: grid, Search: testSearch(), CheckpointDir: warmDir})
 	if err != nil {
@@ -271,7 +275,7 @@ func TestSweepWritesCacheSnapshots(t *testing.T) {
 	}
 }
 
-// TestSweepRejectsCorruptCacheSnapshot: a damaged per-config cache file
+// TestSweepRejectsCorruptCacheSnapshot: a damaged geometry-group cache file
 // fails the sweep loudly instead of silently starting cold or loading junk.
 func TestSweepRejectsCorruptCacheSnapshot(t *testing.T) {
 	grid := Grid{
@@ -288,13 +292,76 @@ func TestSweepRejectsCorruptCacheSnapshot(t *testing.T) {
 		{"truncated magic", []byte("COCCACHE")},
 	} {
 		dir := t.TempDir()
-		path := filepath.Join(dir, configs[0].ID()+".cache")
+		path := groupCachePath(dir, configs[0], hw.DefaultPlatform().Core)
 		if err := os.WriteFile(path, tc.data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := Run(Options{Grid: grid, Search: testSearch(), CheckpointDir: dir}); err == nil {
 			t.Errorf("%s: corrupt cache snapshot accepted", tc.name)
 		}
+	}
+}
+
+// TestSweepSkipsStaleCacheFiles: pre-geometry cache files — per-config
+// names from the old layout, and old-format frames under the new name —
+// are reported through Warnf and skipped, never a hard failure, so
+// checkpoint dirs written before the shared cache remain resumable.
+func TestSweepSkipsStaleCacheFiles(t *testing.T) {
+	dir := t.TempDir()
+	grid := Grid{
+		Models:      []string{"googlenet"},
+		GlobalBytes: []int64{256 * hw.KiB},
+		WeightBytes: []int64{288 * hw.KiB},
+	}
+	configs, _ := grid.Configs()
+	// A per-config cache file as the PR-7 layout named them.
+	stalePerConfig := filepath.Join(dir, configs[0].ID()+".cache")
+	if err := os.WriteFile(stalePerConfig, []byte("old per-config snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A version-1 frame under the new geometry-group name: magic + version 1,
+	// then padding so only the version check can reject it.
+	old := append([]byte("COCCACHE"), 1, 0, 0, 0)
+	old = append(old, make([]byte, 40)...)
+	groupPath := groupCachePath(dir, configs[0], hw.DefaultPlatform().Core)
+	if err := os.WriteFile(groupPath, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var warnings []string
+	rep, err := Run(Options{Grid: grid, Search: testSearch(), CheckpointDir: dir,
+		Warnf: func(format string, args ...any) {
+			mu.Lock()
+			warnings = append(warnings, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != len(configs) {
+		t.Fatalf("sweep incomplete: %d outcomes, want %d", len(rep.Outcomes), len(configs))
+	}
+	wantSubstrings := []string{stalePerConfig, "version too old"}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, w := range warnings {
+			if strings.Contains(w, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no warning mentioning %q in %q", want, warnings)
+		}
+	}
+	// The sweep ran cold past the stale files and replaced the group
+	// snapshot with a current-format one.
+	if _, err := serialize.ReadCostCacheFile(groupPath); err != nil {
+		t.Fatalf("group snapshot not rewritten in current format: %v", err)
+	}
+	// The stale per-config file is left untouched for the user to delete.
+	if _, err := os.Stat(stalePerConfig); err != nil {
+		t.Fatalf("stale per-config file was removed: %v", err)
 	}
 }
 

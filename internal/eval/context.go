@@ -18,10 +18,17 @@ import (
 // multi-config DSE cheap: sweeping N hardware configs over one model pays
 // the graph-derived cold path once instead of N times.
 //
+// The context also owns the shared subgraph-cost caches, one per core
+// geometry (hw.Core) — the only part of a platform subgraph costing depends
+// on. Evaluators fanned out of one context with the same geometry share one
+// cache read/write, so in a DSE sweep only the first config per geometry
+// pays cold costing and every sibling gets warm hits.
+//
 // Immutability contract: after NewGraphContext returns, no field of the
-// context is ever written again, except the per-Core compute-cycles memo,
-// which is guarded by its own mutex and only ever gains entries (a stored
-// table is itself immutable). A GraphContext is therefore safe for
+// context is ever written again, except the per-Core compute-cycles memo
+// and cost-cache registry, which are guarded by the context mutex and only
+// ever gain entries (a stored cycle table is itself immutable; a costCache
+// has its own internal shard locks). A GraphContext is therefore safe for
 // concurrent NewEvaluator calls and concurrent use by the evaluators it
 // produced.
 type GraphContext struct {
@@ -44,9 +51,12 @@ type GraphContext struct {
 	// only per-platform table an Evaluator needs. A DSE sweep varies buffer
 	// capacities, kinds, core counts, and batch sizes while the core itself
 	// stays fixed, so config #2..#N hit this memo and evaluator construction
-	// collapses to pool/cache setup.
+	// collapses to pool/cache setup. caches registers the shared subgraph-
+	// cost cache per core geometry under the same keying: sibling evaluators
+	// get the same *costCache and pay cold costing once per geometry.
 	mu     sync.Mutex
 	cycles map[hw.Core][]int64
+	caches map[hw.Core]*costCache
 }
 
 // NewGraphContext computes the graph-derived evaluation tables for g under
@@ -54,7 +64,11 @@ type GraphContext struct {
 // error: it is recorded and surfaces as a per-subgraph derivation error,
 // exactly as eval.New always behaved.
 func NewGraphContext(g *graph.Graph, tcfg tiling.Config) *GraphContext {
-	gc := &GraphContext{g: g, tcfg: tcfg, cycles: make(map[hw.Core][]int64)}
+	gc := &GraphContext{
+		g: g, tcfg: tcfg,
+		cycles: make(map[hw.Core][]int64),
+		caches: make(map[hw.Core]*costCache),
+	}
 	der, derr := tiling.NewDeriver(g, tcfg)
 	if derr != nil {
 		gc.tcfgErr = derr
@@ -112,17 +126,34 @@ func (gc *GraphContext) cyclesFor(core hw.Core) []int64 {
 	return t
 }
 
+// cacheFor returns the shared subgraph-cost cache for the given core
+// geometry, registering an empty one on first use. Creation is keep-first
+// under the context mutex, so every evaluator of one geometry — however
+// concurrently constructed — holds the same *costCache forever.
+func (gc *GraphContext) cacheFor(core hw.Core) *costCache {
+	gc.mu.Lock()
+	cc, ok := gc.caches[core]
+	if !ok {
+		cc = &costCache{}
+		gc.caches[core] = cc
+	}
+	gc.mu.Unlock()
+	return cc
+}
+
 // NewEvaluator returns a thin per-platform Evaluator over the shared
-// context: it adds only the platform's compute-cycle table (memoized per
-// core geometry on the context), its own cost-cache shards, and a scratch
-// pool. Results are bit-identical to a standalone eval.New evaluator for
-// the same (graph, platform, tiling config) — the equivalence suite pins
-// this across the model zoo.
+// context: it adds only the platform's compute-cycle table and cost cache
+// (both memoized per core geometry on the context, the cache shared
+// read/write with every same-geometry sibling) and a scratch pool. Results
+// are bit-identical to a standalone eval.New evaluator for the same (graph,
+// platform, tiling config) — the equivalence suite pins this across the
+// model zoo. Sharing the cost cache cannot change results either: cache
+// entries change only WHEN costs are computed, never what they are.
 func (gc *GraphContext) NewEvaluator(p hw.Platform) (*Evaluator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Evaluator{ctx: gc, platform: p, cycles: gc.cyclesFor(p.Core)}
+	e := &Evaluator{ctx: gc, platform: p, cycles: gc.cyclesFor(p.Core), cache: gc.cacheFor(p.Core)}
 	n := gc.g.Len()
 	e.scratch.New = func() any {
 		sc := &evalScratch{

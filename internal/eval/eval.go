@@ -227,16 +227,49 @@ func (s *cacheShard) place(h uint64, off, klen uint32, c *SubgraphCost) {
 	}
 }
 
+// costCache is one shared subgraph-cost cache: cacheShards independently
+// locked segments, each an open-addressed table over an append-only entry
+// array and key arena. It is owned by the GraphContext and keyed by core
+// geometry (hw.Core), because a subgraph's raw cost depends on the platform
+// ONLY through the per-core compute-cycle table — memory capacities, buffer
+// kind, core count, and batch all enter later, in Contribution. Every
+// evaluator fanned out of one context with the same core geometry therefore
+// shares one costCache read/write: in a DSE sweep only the first config per
+// geometry pays cold costing and every sibling gets warm hits. The
+// keep-first cold-miss contract (the first inserted *SubgraphCost wins,
+// losers discard their duplicate) holds across sibling evaluators exactly
+// as it holds across goroutines of one evaluator, so the pointer identity
+// delta handles rely on is cache-wide, never per-evaluator.
+type costCache struct {
+	shards [cacheShards]cacheShard
+}
+
+// entries returns the number of distinct subgraphs the cache holds. It is
+// fully deterministic under concurrency: the set of cached subgraphs depends
+// only on which member sets were ever evaluated, not on which goroutine or
+// sibling evaluator won a cold-miss race.
+func (cc *costCache) entries() int64 {
+	var n int64
+	for i := range cc.shards {
+		s := &cc.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Evaluator evaluates partitions of one graph on one platform.
 // It is safe for concurrent use: the subgraph-cost cache is sharded N ways
 // by key hash so concurrent lookups only contend within a shard.
 //
 // An Evaluator is a thin per-(platform, tiling-config) layer over a shared,
-// immutable GraphContext: the context owns every graph-derived table and the
-// Deriver template, while the evaluator adds only the platform's
-// compute-cycle table, its own cost-cache shards, and scratch pools. New
-// builds a private context; GraphContext.NewEvaluator shares one across
-// many evaluators (the batched-DSE fast path).
+// immutable GraphContext: the context owns every graph-derived table, the
+// Deriver template, and the per-core-geometry cost caches, while the
+// evaluator adds only its platform, hit/call counters, and scratch pools.
+// New builds a private context; GraphContext.NewEvaluator shares one across
+// many evaluators (the batched-DSE fast path), and evaluators with the same
+// core geometry share one cost cache through it.
 type Evaluator struct {
 	ctx      *GraphContext
 	platform hw.Platform
@@ -247,12 +280,21 @@ type Evaluator struct {
 	// context per core geometry, shared read-only).
 	cycles []int64
 
+	// cache is the context's shared cost cache for platform.Core. Sibling
+	// evaluators of the same geometry hold the same pointer; evaluators of
+	// different geometries never do, so costs cannot cross geometries.
+	cache *costCache
+
 	// scratch pools per-goroutine evalScratch state (membership marks, the
 	// tiling Deriver, and the member-key decode buffer), making the whole
 	// cold path allocation-free apart from the SubgraphCost it produces.
 	scratch sync.Pool
 
-	shards     [cacheShards]cacheShard
+	// partPool pools partitionEval's prefetch-pass scratch (per-subgraph
+	// weight shares and flags), keeping warm partition evaluations
+	// allocation-free beyond the Result they return.
+	partPool sync.Pool
+
 	hits       atomic.Int64
 	calls      atomic.Int64
 	deltaReuse atomic.Int64
@@ -305,10 +347,12 @@ func (e *Evaluator) Context() *GraphContext { return e.ctx }
 // Platform returns the platform.
 func (e *Evaluator) Platform() hw.Platform { return e.platform }
 
-// CacheStats reports memoization effectiveness (hits, total lookups).
-// Lookups are deterministic for a fixed-seed search, but with concurrent
-// callers two goroutines can miss on the same cold key and both compute,
-// so hits may vary by a few counts across runs; use CacheEntries for a
+// CacheStats reports THIS evaluator's memoization effectiveness (hits, total
+// lookups) — the counters are per-evaluator even though the cache itself is
+// shared per core geometry, so a DSE sweep can attribute warm hits to the
+// config that made them. Lookups are deterministic for a fixed-seed search,
+// but with concurrent callers (or sibling evaluators priming shared keys)
+// hits may vary by a few counts across runs; use CacheEntries for a
 // scheduling-independent measure.
 func (e *Evaluator) CacheStats() (hits, calls int64) {
 	return e.hits.Load(), e.calls.Load()
@@ -319,37 +363,23 @@ func (e *Evaluator) CacheStats() (hits, calls int64) {
 // are invisible to CacheStats).
 func (e *Evaluator) DeltaStats() (reused int64) { return e.deltaReuse.Load() }
 
-// CacheEntries reports the number of distinct subgraphs computed. Unlike
-// the hit counter it is fully deterministic under concurrency: the set of
-// evaluated subgraphs depends only on the search trajectory, not on which
-// goroutine won a cold-miss race (losers discard their duplicate, so an
-// entry is inserted exactly once per distinct key).
-func (e *Evaluator) CacheEntries() int64 {
-	var n int64
-	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.Lock()
-		n += int64(len(s.entries))
-		s.mu.Unlock()
-	}
-	return n
-}
+// CacheEntries reports the number of distinct subgraphs in the SHARED cost
+// cache this evaluator uses — sibling evaluators of the same core geometry
+// report the same number, including entries a sibling computed. Unlike the
+// per-evaluator hit counter it is fully deterministic under concurrency:
+// the set of evaluated subgraphs depends only on the search trajectory, not
+// on which goroutine won a cold-miss race (losers discard their duplicate,
+// so an entry is inserted exactly once per distinct key).
+func (e *Evaluator) CacheEntries() int64 { return e.cache.entries() }
 
 // hashKey is 64-bit FNV-1a over the canonical member key — computed once per
 // lookup; the top bits pick the shard and the full hash drives the
 // open-addressed probe, so neither the shard choice nor the table walks the
-// key again (only a final confirming compare on a hash match does).
-func hashKey(key string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-// hashKeyBytes is hashKey over a scratch byte buffer.
-func hashKeyBytes(key []byte) uint64 {
+// key again (only a final confirming compare on a hash match does). Generic
+// over ~string | ~[]byte so the interned-key and scratch-buffer paths share
+// one body (unlike lookup/lookupBytes, which stay hand-expanded twins:
+// methods cannot take this type parameter).
+func hashKey[K ~string | ~[]byte](key K) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
@@ -367,8 +397,8 @@ func (e *Evaluator) Subgraph(members []int) *SubgraphCost {
 	sort.Ints(sc.members)
 	sc.keyBuf = partition.AppendMemberKey(sc.keyBuf[:0], sc.members)
 
-	h := hashKeyBytes(sc.keyBuf)
-	s := &e.shards[h>>(64-shardBits)]
+	h := hashKey(sc.keyBuf)
+	s := &e.cache.shards[h>>(64-shardBits)]
 	e.calls.Add(1)
 	s.mu.Lock()
 	if c := s.lookupBytes(h, sc.keyBuf); c != nil {
@@ -394,14 +424,14 @@ func (e *Evaluator) Subgraph(members []int) *SubgraphCost {
 }
 
 // subgraphByKey looks the cost up by its canonical member key, computing and
-// inserting it on a miss. Two goroutines missing on the same cold key may
-// both compute it; the insert re-checks under the write lock and keeps the
-// FIRST inserted *SubgraphCost, discarding the duplicate, so the pointer
-// identity that delta handles (and entry stability) rely on holds even under
-// a cold-miss race.
+// inserting it on a miss. Two goroutines (or two sibling evaluators sharing
+// the cache) missing on the same cold key may both compute it; the insert
+// re-checks under the write lock and keeps the FIRST inserted *SubgraphCost,
+// discarding the duplicate, so the pointer identity that delta handles (and
+// entry stability) rely on holds even under a cold-miss race.
 func (e *Evaluator) subgraphByKey(key string) *SubgraphCost {
 	h := hashKey(key)
-	s := &e.shards[h>>(64-shardBits)]
+	s := &e.cache.shards[h>>(64-shardBits)]
 
 	e.calls.Add(1)
 	s.mu.Lock()
@@ -642,25 +672,50 @@ func (e *Evaluator) Partition(p *partition.Partition, mem hw.MemConfig) *Result 
 // Handle fills mutate p's caches, so the caller must own p (single writer).
 func (e *Evaluator) PartitionDelta(p *partition.Partition, mem hw.MemConfig) *Result {
 	return e.partitionEval(p.NumSubgraphs(), mem, func(si int) *SubgraphCost {
-		if h, ok := p.CostHandle(si).(costHandle); ok && h.ev == e {
+		if h, ok := p.CostHandle(si).(costHandle); ok && h.cache == e.cache {
 			e.deltaReuse.Add(1)
 			return h.c
 		}
 		c := e.subgraphByKey(p.SubgraphKey(si))
-		p.SetCostHandle(si, costHandle{ev: e, c: c})
+		p.SetCostHandle(si, costHandle{cache: e.cache, c: c})
 		return c
 	})
 }
 
 // costHandle is the opaque per-subgraph cache entry PartitionDelta stores on
-// partitions. It records the owning evaluator: raw subgraph costs depend on
-// the platform and tiling config too, so a partition migrating between
-// evaluators (e.g. an Options.Init seed from a search on different hardware)
-// must not reuse another evaluator's numbers — a foreign handle is treated
-// as dirty and recomputed here.
+// partitions. It records the owning SHARED cost cache, not the evaluator:
+// raw subgraph costs depend only on (graph, tiling config, core geometry),
+// so a handle filled by one evaluator stays valid for every sibling sharing
+// its cache — a partition migrating between same-geometry DSE configs keeps
+// its handles warm. A handle from a different cache (another graph, tiling
+// config, or core geometry — e.g. an Options.Init seed from a search on
+// different hardware) must not be reused: it is treated as dirty and
+// recomputed here, so costs never cross geometries.
 type costHandle struct {
-	ev *Evaluator
-	c  *SubgraphCost
+	cache *costCache
+	c     *SubgraphCost
+}
+
+// partScratch is the pooled scratch of partitionEval's prefetch pass: the
+// per-subgraph weight shares and flags the cross-subgraph double-buffering
+// check re-reads after the main accumulation loop. Every field is fully
+// overwritten for each subgraph, so no clearing is needed between calls.
+type partScratch struct {
+	wgts   []int64
+	single []bool
+	bad    []bool
+}
+
+// grow sizes the scratch slices to n subgraphs, reusing capacity.
+func (ps *partScratch) grow(n int) {
+	if cap(ps.wgts) < n {
+		ps.wgts = make([]int64, n)
+		ps.single = make([]bool, n)
+		ps.bad = make([]bool, n)
+	}
+	ps.wgts = ps.wgts[:n]
+	ps.single = ps.single[:n]
+	ps.bad = ps.bad[:n]
 }
 
 // partitionEval is the shared aggregation core of Partition and
@@ -668,30 +723,43 @@ type costHandle struct {
 // (sums, maxes, infeasibility, prefetch pass) are accumulated in ascending
 // subgraph order so every caller produces bit-identical results, float
 // summation included.
+//
+// With prefetch off the aggregates accumulate straight into the Result, so a
+// warm delta evaluation allocates nothing but the Result itself (plus its
+// Infeasible slice when subgraphs do not fit). The prefetch pass re-reads
+// every subgraph's weight share and singleton flag after the main loop, so
+// that path borrows pooled scratch instead of allocating per call.
 func (e *Evaluator) partitionEval(nsub int, mem hw.MemConfig, costOf func(si int) *SubgraphCost) *Result {
 	res := &Result{NumSubgraphs: nsub}
-	infeasible := make([]bool, nsub)
-	costs := make([]*SubgraphCost, nsub)
-	wgts := make([]int64, nsub)
+	var ps *partScratch
+	if e.prefetch {
+		ps, _ = e.partPool.Get().(*partScratch)
+		if ps == nil {
+			ps = &partScratch{}
+		}
+		ps.grow(nsub)
+	}
 	for si := 0; si < nsub; si++ {
 		c := costOf(si)
-		costs[si] = c
 		ctr := e.Contribution(c, mem)
-		wgts[si] = ctr.WgtPerCore
+		if ps != nil {
+			ps.wgts[si] = ctr.WgtPerCore
+			ps.single[si] = len(c.Members) <= 1
+			ps.bad[si] = !ctr.Fits
+		} else if !ctr.Fits {
+			res.Infeasible = append(res.Infeasible, si)
+		}
 		if c.ActFootprint > res.MaxActFootprint {
 			res.MaxActFootprint = c.ActFootprint
 		}
 		if ctr.WgtPerCore > res.MaxWgtFootprint {
 			res.MaxWgtFootprint = ctr.WgtPerCore
 		}
-		if !ctr.Fits {
-			infeasible[si] = true
-		}
 		res.EMABytes += ctr.EMABytes
 		res.EnergyPJ += ctr.EnergyPJ
 		res.LatencyCycles += ctr.LatencyCycles
 	}
-	if e.prefetch {
+	if ps != nil {
 		// Double-buffered weights: subgraph i and its prefetched successor
 		// i+1 are resident together. Singletons stream (layer-level tiling
 		// fallback) and are exempt, as in Fits.
@@ -700,18 +768,19 @@ func (e *Evaluator) partitionEval(nsub int, mem hw.MemConfig, costOf func(si int
 			wgtCap = mem.GlobalBytes
 		}
 		for si := 0; si+1 < nsub; si++ {
-			if len(costs[si].Members) <= 1 || len(costs[si+1].Members) <= 1 {
+			if ps.single[si] || ps.single[si+1] {
 				continue
 			}
-			if wgts[si]+wgts[si+1] > wgtCap {
-				infeasible[si] = true
+			if ps.wgts[si]+ps.wgts[si+1] > wgtCap {
+				ps.bad[si] = true
 			}
 		}
-	}
-	for si, bad := range infeasible {
-		if bad {
-			res.Infeasible = append(res.Infeasible, si)
+		for si := 0; si < nsub; si++ {
+			if ps.bad[si] {
+				res.Infeasible = append(res.Infeasible, si)
+			}
 		}
+		e.partPool.Put(ps)
 	}
 	if res.LatencyCycles > 0 {
 		res.AvgBWBytesPerSec = float64(res.EMABytes) / e.LatencySeconds(res.LatencyCycles)

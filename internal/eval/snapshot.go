@@ -18,8 +18,14 @@ import (
 // (entries change only WHEN costs are computed, never what they are).
 //
 // Snapshots are keyed by CacheFingerprint — (key-format version, graph
-// name, tiling config, platform) — so a load against the wrong model or
-// configuration fails loudly instead of silently serving foreign costs.
+// name, tiling config, core geometry) — so a load against the wrong model
+// or configuration fails loudly instead of silently serving foreign costs.
+// The fingerprint deliberately excludes everything subgraph costing does
+// not depend on (memory capacities, buffer kind, core count, batch): one
+// snapshot warm-starts every sibling config of a DSE capacity sweep.
+// Pre-geometry snapshots, whose fingerprints pinned the full platform, are
+// rejected one layer down by the serialize codec's wire-format version
+// before any fingerprint comparison happens.
 
 // cacheKeyFormat versions the canonical member-key encoding the cache is
 // keyed by (partition.MemberKey: 4-byte big-endian ids, ascending). Any
@@ -49,31 +55,36 @@ type CacheRecord struct {
 // recomputing them on demand reproduces the identical error, so omitting
 // them cannot change results.
 type CacheSnapshot struct {
-	// Fingerprint identifies the (graph, tiling, platform, key format) the
-	// costs are valid for; LoadCache refuses anything else.
+	// Fingerprint identifies the (graph, tiling, core geometry, key format)
+	// the costs are valid for; LoadCache refuses anything else.
 	Fingerprint string
 	Entries     []CacheRecord
 	Arena       []byte
 }
 
-// CacheFingerprint identifies the configuration the evaluator's cached
-// costs are valid for. Two evaluators share a fingerprint exactly when they
-// were built for the same graph name, tiling config, and platform — the
-// inputs subgraph costing depends on — under the same key-format version.
+// CacheFingerprint identifies the configuration the shared cost cache's
+// entries are valid for. Two evaluators share a fingerprint exactly when
+// they were built for the same graph name, tiling config, and core geometry
+// (hw.Core) — the only inputs subgraph costing depends on — under the same
+// key-format version. Sibling DSE configs differing in memory capacities,
+// buffer kind, core count, or batch share both the in-memory cache and its
+// snapshots; a different core geometry is a different fingerprint.
 func (e *Evaluator) CacheFingerprint() string {
-	return fmt.Sprintf("keyfmt=%d graph=%q tiling=%s platform=%+v",
-		cacheKeyFormat, e.ctx.g.Name, e.ctx.tcfg, e.platform)
+	return fmt.Sprintf("keyfmt=%d graph=%q tiling=%s core=%+v",
+		cacheKeyFormat, e.ctx.g.Name, e.ctx.tcfg, e.platform.Core)
 }
 
-// ExportCache snapshots every error-free cached subgraph cost. It locks one
-// shard at a time, so it is safe to call while other goroutines use the
-// cache; entries inserted after their shard was visited are simply not in
-// the snapshot (each entry is immutable once inserted, so every exported
-// record is complete and correct).
+// ExportCache snapshots every error-free cached subgraph cost in the SHARED
+// cost cache — including entries computed by sibling evaluators of the same
+// core geometry, so one export captures a whole DSE geometry group's warm
+// state. It locks one shard at a time, so it is safe to call while other
+// goroutines use the cache; entries inserted after their shard was visited
+// are simply not in the snapshot (each entry is immutable once inserted, so
+// every exported record is complete and correct).
 func (e *Evaluator) ExportCache() (*CacheSnapshot, error) {
 	snap := &CacheSnapshot{Fingerprint: e.CacheFingerprint()}
-	for i := range e.shards {
-		s := &e.shards[i]
+	for i := range e.cache.shards {
+		s := &e.cache.shards[i]
 		s.mu.Lock()
 		for j := range s.entries {
 			en := &s.entries[j]
@@ -104,11 +115,14 @@ func (e *Evaluator) ExportCache() (*CacheSnapshot, error) {
 	return snap, nil
 }
 
-// LoadCache inserts every snapshot record the cache does not already hold,
-// returning the number added. Loads are keep-first: a key already present
-// keeps its existing *SubgraphCost (pointer stability for delta handles),
-// and concurrent Subgraph callers racing a load behave exactly as they do
-// racing each other. The snapshot must carry this evaluator's fingerprint;
+// LoadCache inserts every snapshot record the SHARED cache does not already
+// hold, returning the number added — sibling evaluators of the same core
+// geometry see the loaded entries immediately. Loads are keep-first: a key
+// already present keeps its existing *SubgraphCost (pointer stability for
+// delta handles), and concurrent Subgraph callers racing a load behave
+// exactly as they do racing each other. Because of that idempotence, loading
+// the same snapshot once per sibling config is harmless — later loads add 0.
+// The snapshot must carry this evaluator's fingerprint;
 // records with malformed keys (out-of-range or unsorted member ids) reject
 // the whole load — a fingerprint-matched snapshot can only contain them if
 // the file was corrupted in a way that defeated the codec's checksum.
@@ -140,8 +154,8 @@ func (e *Evaluator) LoadCache(snap *CacheSnapshot) (added int, err error) {
 			ComputeCycles:  r.ComputeCycles,
 			GLBAccessBytes: r.GLBAccessBytes,
 		}
-		h := hashKeyBytes(key)
-		s := &e.shards[h>>(64-shardBits)]
+		h := hashKey(key)
+		s := &e.cache.shards[h>>(64-shardBits)]
 		s.mu.Lock()
 		if s.lookupBytes(h, key) == nil {
 			s.insertBytes(h, key, c)

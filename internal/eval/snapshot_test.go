@@ -95,8 +95,11 @@ func TestLoadCacheKeepFirst(t *testing.T) {
 	}
 }
 
-// TestLoadCacheForeignFingerprint: snapshots from a different platform,
-// tiling config, or graph are rejected loudly.
+// TestLoadCacheForeignFingerprint: snapshots from a different core
+// geometry or tiling config are rejected loudly, while sibling platforms —
+// same geometry, different memory capacities / buffer kind / core count /
+// batch — load the same snapshot successfully: the fingerprint pins exactly
+// what subgraph costing depends on, nothing more.
 func TestLoadCacheForeignFingerprint(t *testing.T) {
 	g, ids := toy(t)
 	src := testEvaluator(t, g)
@@ -106,14 +109,27 @@ func TestLoadCacheForeignFingerprint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	otherPlatform := hw.DefaultPlatform()
-	otherPlatform.Cores = 4
-	evP, err := New(g, otherPlatform, tiling.DefaultConfig())
+	// Sibling configs of a DSE sweep accept the snapshot.
+	sibling := hw.DefaultPlatform()
+	sibling.Cores = 4
+	sibling.Batch = 8
+	evS, err := New(g, sibling, tiling.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := evS.LoadCache(snap); err != nil {
+		t.Errorf("same-geometry sibling platform: %v, want successful load", err)
+	}
+
+	// A different core geometry is a different fingerprint.
+	otherGeom := hw.DefaultPlatform()
+	otherGeom.Core.PERows = 2
+	evP, err := New(g, otherGeom, tiling.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := evP.LoadCache(snap); err == nil || !strings.Contains(err.Error(), "fingerprint") {
-		t.Errorf("foreign platform: err = %v, want fingerprint mismatch", err)
+		t.Errorf("foreign core geometry: err = %v, want fingerprint mismatch", err)
 	}
 
 	evT, err := New(g, hw.DefaultPlatform(), tiling.Config{BaseTileH: 4, BaseTileW: 4})

@@ -14,6 +14,7 @@ package hw
 import (
 	"fmt"
 	"math"
+	"strconv"
 )
 
 // Byte-size helpers.
@@ -159,6 +160,17 @@ func DefaultCore() Core {
 		DRAMBytesPerSec: 16_000_000_000,
 		Utilization:     0.95,
 	}
+}
+
+// GeometryID returns a compact, filesystem-safe identifier of the core
+// geometry, distinct for distinct Core values. It names the per-geometry
+// warm-start cache files a DSE sweep writes: every config sharing one core
+// geometry (whatever its memory capacities, core count, or batch) maps to
+// the same ID and therefore the same snapshot file.
+func (c Core) GeometryID() string {
+	return fmt.Sprintf("pe%dx%d_mac%dx%d_f%d_bw%d_u%s",
+		c.PERows, c.PECols, c.MACRows, c.MACCols, c.FreqHz, c.DRAMBytesPerSec,
+		strconv.FormatFloat(c.Utilization, 'g', -1, 64))
 }
 
 // MACsPerCycle is the peak multiply-accumulates per cycle.

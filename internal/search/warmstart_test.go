@@ -6,7 +6,9 @@ import (
 
 	"cocco/internal/core"
 	"cocco/internal/eval"
+	"cocco/internal/hw"
 	"cocco/internal/models"
+	"cocco/internal/tiling"
 )
 
 // TestWarmStartBitIdentical pins the cache-snapshot contract across the
@@ -14,8 +16,10 @@ import (
 // bit-identical best genome and Stats a cold search returns. The snapshot
 // only changes which subgraph costs are computed vs looked up — never a
 // cost value, never the search trajectory. Each model is checked against
-// two snapshots: one primed by the identical run (every lookup warm) and
-// one primed by a different-seed run (partial overlap, the realistic case).
+// three snapshots: one primed by the identical run (every lookup warm), one
+// primed by a different-seed run (partial overlap, the realistic case), and
+// one primed by a sibling hardware config sharing the core geometry (the
+// cross-config warm start the geometry-keyed fingerprint exists for).
 func TestWarmStartBitIdentical(t *testing.T) {
 	for _, model := range models.Names() {
 		t.Run(model, func(t *testing.T) {
@@ -53,10 +57,31 @@ func TestWarmStartBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 
+			// Snapshot C: primed by a SIBLING config — same core geometry,
+			// different core count, batch, and memory capacities. The
+			// geometry-keyed fingerprint accepts it, and because raw subgraph
+			// costs depend only on the geometry, warm-starting from a
+			// different config's snapshot must still be bit-identical.
+			sibPlatform := hw.DefaultPlatform()
+			sibPlatform.Cores = 4
+			sibPlatform.Batch = 2
+			sibling := eval.MustNew(models.MustBuild(model), sibPlatform, tiling.DefaultConfig())
+			sibOpt := opt
+			sibOpt.Core.Seed = 11
+			sibOpt.Core.Mem = core.MemSearch{Fixed: hw.MemConfig{
+				Kind: hw.SeparateBuffer, GlobalBytes: 512 * hw.KiB, WeightBytes: 576 * hw.KiB}}
+			if _, _, err := Run(sibling, sibOpt); err != nil {
+				t.Fatal(err)
+			}
+			crossConfig, err := sibling.ExportCache()
+			if err != nil {
+				t.Fatal(err)
+			}
+
 			for _, tc := range []struct {
 				name string
 				snap *eval.CacheSnapshot
-			}{{"full-overlap", full}, {"partial-overlap", partial}} {
+			}{{"full-overlap", full}, {"partial-overlap", partial}, {"cross-config", crossConfig}} {
 				warm := evaluatorFor(t, model)
 				if _, err := warm.LoadCache(tc.snap); err != nil {
 					t.Fatal(err)
@@ -69,6 +94,14 @@ func TestWarmStartBitIdentical(t *testing.T) {
 				if !reflect.DeepEqual(coldStats, warmStats) {
 					t.Errorf("%s: stats differ: cold %+v warm %+v", tc.name, coldStats, warmStats)
 				}
+			}
+
+			// A geometry-mismatched snapshot must be refused, not loaded.
+			otherGeom := hw.DefaultPlatform()
+			otherGeom.Core.PERows = 2
+			mismatched := eval.MustNew(models.MustBuild(model), otherGeom, tiling.DefaultConfig())
+			if _, err := mismatched.LoadCache(full); err == nil {
+				t.Error("geometry-mismatched snapshot load succeeded, want fingerprint error")
 			}
 		})
 	}

@@ -32,8 +32,22 @@ import (
 // evaluator's own CacheFingerprint.
 
 // CostCacheVersion is the current snapshot format version; decode rejects
-// any other value.
-const CostCacheVersion = 1
+// any other value. Version 2 relaxed the fingerprint from the full platform
+// to the core geometry (graph + tiling + hw.Core) when the cost cache moved
+// onto the shared GraphContext: version-1 snapshots are valid only for the
+// exact platform that wrote them, which the geometry fingerprint can no
+// longer express, so they are rejected as too old rather than reinterpreted.
+const CostCacheVersion = 2
+
+// ErrCostCacheTooOld and ErrCostCacheTooNew order a version mismatch so
+// callers can distinguish "stale file from an earlier release — safe to
+// ignore or regenerate" (errors.Is ErrCostCacheTooOld) from "file written
+// by a newer release than this binary" (ErrCostCacheTooNew). Neither means
+// corruption; the checksum guards that separately.
+var (
+	ErrCostCacheTooOld = fmt.Errorf("serialize: cost cache version too old")
+	ErrCostCacheTooNew = fmt.Errorf("serialize: cost cache version too new")
+)
 
 var costCacheMagic = [8]byte{'C', 'O', 'C', 'C', 'A', 'C', 'H', 'E'}
 
@@ -96,7 +110,12 @@ func DecodeCostCache(data []byte) (*eval.CacheSnapshot, error) {
 		return nil, fmt.Errorf("serialize: cost cache: not a cache snapshot (bad magic)")
 	}
 	if v := binary.LittleEndian.Uint32(data[8:]); v != CostCacheVersion {
-		return nil, fmt.Errorf("serialize: cost cache version %d, want %d", v, CostCacheVersion)
+		if v < CostCacheVersion {
+			return nil, fmt.Errorf("%w: version %d, want %d (snapshot predates the shared geometry-keyed cache; regenerate it)",
+				ErrCostCacheTooOld, v, CostCacheVersion)
+		}
+		return nil, fmt.Errorf("%w: version %d, want %d (written by a newer release)",
+			ErrCostCacheTooNew, v, CostCacheVersion)
 	}
 	if len(data) < 16 {
 		return nil, fmt.Errorf("serialize: cost cache: truncated header")

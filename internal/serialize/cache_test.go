@@ -2,6 +2,7 @@ package serialize
 
 import (
 	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 
@@ -82,10 +83,14 @@ func TestCostCacheDecodeRejects(t *testing.T) {
 			copy(d, "NOTCACHE")
 			return d
 		}, "bad magic"},
-		{"version bump", func(d []byte) []byte {
+		{"version too new", func(d []byte) []byte {
 			binary.LittleEndian.PutUint32(d[8:], CostCacheVersion+1)
 			return rechecksum(d)
-		}, "version"},
+		}, "version too new"},
+		{"version too old", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:], CostCacheVersion-1)
+			return rechecksum(d)
+		}, "version too old"},
 		{"truncated mid-records", func(d []byte) []byte { return d[:recordsOff+13] }, "truncated"},
 		{"truncated checksum", func(d []byte) []byte { return d[:len(d)-3] }, "truncated"},
 		{"trailing garbage", func(d []byte) []byte { return append(d, 0xEE) }, "trailing"},
@@ -121,6 +126,32 @@ func TestCostCacheDecodeRejects(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// TestCostCacheVersionErrorsOrdered pins the errors.Is contract the dse
+// driver's stale-file skip rests on: an older frame matches only TooOld, a
+// newer frame only TooNew, and a current frame with other damage neither.
+func TestCostCacheVersionErrorsOrdered(t *testing.T) {
+	valid, err := EncodeCostCache(snapshotFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp := func(v uint32) []byte {
+		d := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(d[8:], v)
+		return rechecksum(d)
+	}
+	if _, err := DecodeCostCache(stamp(CostCacheVersion - 1)); !errors.Is(err, ErrCostCacheTooOld) || errors.Is(err, ErrCostCacheTooNew) {
+		t.Errorf("old frame: err = %v, want ErrCostCacheTooOld only", err)
+	}
+	if _, err := DecodeCostCache(stamp(CostCacheVersion + 1)); !errors.Is(err, ErrCostCacheTooNew) || errors.Is(err, ErrCostCacheTooOld) {
+		t.Errorf("new frame: err = %v, want ErrCostCacheTooNew only", err)
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-9] ^= 0x40
+	if _, err := DecodeCostCache(corrupt); err == nil || errors.Is(err, ErrCostCacheTooOld) || errors.Is(err, ErrCostCacheTooNew) {
+		t.Errorf("corrupt current-version frame: err = %v, want neither version sentinel", err)
 	}
 }
 
@@ -178,7 +209,10 @@ func TestEncodersSideEffectFree(t *testing.T) {
 }
 
 // FuzzCostCacheDecode: arbitrary bytes must never panic the decoder, and
-// anything it accepts must re-encode.
+// anything it accepts must re-encode AND survive the load path — including
+// the fingerprint rejection in eval.LoadCache, which fuzzed frames hit
+// almost always (a fuzzer-mutated fingerprint can't match the evaluator's),
+// and the member-key validation behind it when the fingerprint does match.
 func FuzzCostCacheDecode(f *testing.F) {
 	valid, err := EncodeCostCache(snapshotFixture(f))
 	if err != nil {
@@ -188,13 +222,26 @@ func FuzzCostCacheDecode(f *testing.F) {
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("COCCACHE"))
 	f.Add([]byte{})
+	// An old-version frame: seeds the version-ordering branch.
+	oldFrame := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(oldFrame[8:], CostCacheVersion-1)
+	f.Add(rechecksum(oldFrame))
+	g := models.MustBuild("vgg16")
+	ev := eval.MustNew(g, hw.DefaultPlatform(), tiling.DefaultConfig())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := DecodeCostCache(data)
 		if err != nil {
+			if errors.Is(err, ErrCostCacheTooOld) && errors.Is(err, ErrCostCacheTooNew) {
+				t.Fatal("version error matches both ordering sentinels")
+			}
 			return
 		}
 		if _, err := EncodeCostCache(snap); err != nil {
 			t.Fatalf("decoded snapshot does not re-encode: %v", err)
 		}
+		// Loading a decoded frame must never panic: either the fingerprint
+		// is foreign (the common fuzz case) or the records pass the same
+		// validation a legitimate load applies.
+		_, _ = ev.LoadCache(snap)
 	})
 }
