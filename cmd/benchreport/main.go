@@ -35,6 +35,16 @@
 // faster than standalone on every zoo model, and the shared sweep beating
 // rebuild at widths >= 8 — and exits non-zero if either fails.
 //
+// A seventh workload, distsearch (-distsearch, BENCH_distsearch.json),
+// measures the distributed island search: aggregate samples/s for the same
+// 4-island ring run in-process vs across 1/2/4 worker processes (the binary
+// re-executes itself in a hidden -dist-worker mode), plus the async
+// eventual-migration fleet at the widest process count. Every contender is
+// pinned to one evaluation goroutine per process, so process count is the
+// scaling axis; the >=1.8x floor for the 4-process fleet is asserted only on
+// hosts with at least 4 CPUs (a 1-CPU host honestly reports parity or
+// below).
+//
 // A sixth workload, cachewarm (-cachewarm, BENCH_cachewarm.json), measures
 // the persistent cost cache: the first search over a fixed partition set,
 // cold vs warm-started from a prior run's snapshot (decode + keep-first
@@ -804,8 +814,16 @@ func main() {
 	orchOut := flag.String("orch", "BENCH_searchorch.json", "search_orchestrator output path (empty to skip)")
 	dseOut := flag.String("dse", "BENCH_dse.json", "dse shared-context workload output path (empty to skip)")
 	cachewarmOut := flag.String("cachewarm", "BENCH_cachewarm.json", "cache warm-start workload output path (empty to skip)")
+	distOut := flag.String("distsearch", "BENCH_distsearch.json", "distributed-search workload output path (empty to skip)")
 	quick := flag.Bool("quick", false, "reduced budgets for CI smoke runs")
+	distWorker := flag.String("dist-worker", "", "internal: serve as a distsearch bench worker, publishing the listen address to this file")
+	distWorkerModel := flag.String("dist-worker-model", distSearchModel, "internal: model for -dist-worker")
 	flag.Parse()
+
+	if *distWorker != "" {
+		runDistWorker(*distWorker, *distWorkerModel)
+		return
+	}
 
 	nparts, gaSamples := 8, 1000
 	if *quick {
@@ -862,6 +880,10 @@ func main() {
 	}
 
 	if *cachewarmOut != "" && !runCachewarmWorkload(*cachewarmOut) {
+		os.Exit(1)
+	}
+
+	if *distOut != "" && !runDistSearchWorkload(*distOut, gaSamples) {
 		os.Exit(1)
 	}
 

@@ -30,6 +30,7 @@ import (
 	"cocco/internal/partition"
 	"cocco/internal/report"
 	"cocco/internal/search"
+	"cocco/internal/search/dist"
 	"cocco/internal/serialize"
 	"cocco/internal/tiling"
 )
@@ -65,6 +66,9 @@ func main() {
 		maxRounds  = flag.Int("max-rounds", 0, "pause after this many migration rounds (0 = run to completion)")
 		cacheLoad  = flag.String("cache-load", "", "warm-start from this cost-cache snapshot if it exists (same model/core-geometry/tiling required — memory capacities, core count, and batch may differ; results are identical, only faster)")
 		cacheSave  = flag.String("cache-save", "", "write the cost cache to this path after the search, for future -cache-load runs")
+
+		distWorkers = flag.String("dist-workers", "", "comma-separated coccow addresses; run the island ring across these worker processes (bit-identical to the same flags in-process)")
+		distAsync   = flag.Bool("dist-async", false, "with -dist-workers: eventual migration without round barriers (faster coordination, non-deterministic, no checkpoints)")
 	)
 	flag.Parse()
 
@@ -165,7 +169,24 @@ func main() {
 			}
 		}
 	}
-	best, stats, err := search.RunOrResume(ev, sopt, *resume)
+	var (
+		best  *core.Genome
+		stats *search.Stats
+	)
+	if *distWorkers != "" {
+		dopt := dist.Options{Search: sopt, Async: *distAsync}
+		for _, a := range strings.Split(*distWorkers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				dopt.Workers = append(dopt.Workers, a)
+			}
+		}
+		best, stats, err = dist.RunOrResume(ev, dopt, *resume)
+	} else {
+		if *distAsync {
+			log.Fatal("-dist-async requires -dist-workers")
+		}
+		best, stats, err = search.RunOrResume(ev, sopt, *resume)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -178,6 +199,7 @@ func main() {
 		stats.Samples, stats.FeasibleSamples, stats.Migrations, len(stats.IslandStats))
 	if len(stats.IslandStats) > 1 {
 		fmt.Printf("  best found by island %d\n", stats.BestIsland)
+		printIslands(os.Stdout, sopt, stats)
 	}
 	fmt.Printf("  memory    %v (total %s)\n", best.Mem, report.Bytes(best.Mem.TotalBytes()))
 	fmt.Printf("  cost      %.6g\n", best.Cost)
@@ -209,6 +231,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s (%d bytes)\n", *dump, len(data))
+	}
+}
+
+// printIslands summarizes each ring member's contribution: samples spent,
+// feasible genomes seen, memo hits, and migrants exchanged (the migrant
+// columns stay blank when the ring never migrated).
+func printIslands(w *os.File, sopt search.Options, stats *search.Stats) {
+	fmt.Fprintf(w, "  island  kind    samples  feasible  memo-hits  sent  recv\n")
+	for i, is := range stats.IslandStats {
+		kind := "ga"
+		if i >= sopt.Islands {
+			kind = sopt.Scouts[i-sopt.Islands].String()
+		}
+		sent, recv := "-", "-"
+		if stats.MigrantsSent != nil {
+			sent = fmt.Sprintf("%d", stats.MigrantsSent[i])
+			recv = fmt.Sprintf("%d", stats.MigrantsReceived[i])
+		}
+		fmt.Fprintf(w, "  %-6d  %-6s  %7d  %8d  %9d  %4s  %4s\n",
+			i, kind, is.Samples, is.FeasibleSamples, is.MemoHits, sent, recv)
 	}
 }
 

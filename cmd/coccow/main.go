@@ -1,0 +1,87 @@
+// Command coccow is the distributed-search worker. It builds one evaluator
+// for a model/platform/tiling triple, listens on -listen, and serves
+// coordinator sessions (cocco -dist-workers) until killed. The handshake
+// compares evaluator fingerprints, so a worker started with different flags
+// than its coordinator refuses the session instead of silently diverging.
+//
+// Example — a 2-process fleet on one machine:
+//
+//	coccow -model resnet152 -listen 127.0.0.1:7701 &
+//	coccow -model resnet152 -listen 127.0.0.1:7702 &
+//	cocco  -model resnet152 -islands 4 -scouts sa -dist-workers 127.0.0.1:7701,127.0.0.1:7702
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"cocco/internal/eval"
+	"cocco/internal/hw"
+	"cocco/internal/models"
+	"cocco/internal/search/dist"
+	"cocco/internal/serialize"
+	"cocco/internal/tiling"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coccow: ")
+
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "address to accept coordinator connections on")
+		model     = flag.String("model", "resnet50", "model name: "+strings.Join(models.Names(), ", "))
+		cores     = flag.Int("cores", 1, "number of accelerator cores (must match the coordinator)")
+		batch     = flag.Int("batch", 1, "batch size (must match the coordinator)")
+		workers   = flag.Int("workers", 0, "evaluation goroutines for this process (0 = all CPUs)")
+		tcfgFlag  = flag.String("tiling", tiling.DefaultConfig().String(), "base tile as HxW (must match the coordinator)")
+		cacheLoad = flag.String("cache-load", "", "warm-start from this cost-cache snapshot if it exists")
+	)
+	flag.Parse()
+
+	g, err := models.Build(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg, err := tiling.ParseConfig(*tcfgFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := hw.DefaultPlatform()
+	platform.Cores = *cores
+	platform.Batch = *batch
+	ev, err := eval.New(g, platform, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cacheLoad != "" {
+		snap, err := serialize.ReadCostCacheFile(*cacheLoad)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no cache snapshot at %s; starting cold\n", *cacheLoad)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			n, err := ev.LoadCache(snap)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("warm start: loaded %d cached subgraph costs from %s\n", n, *cacheLoad)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address matters with -listen :0; print it in a greppable
+	// form so scripts (and the CI dist-smoke job) can pick it up.
+	fmt.Printf("coccow listening on %s (model %s, %d nodes)\n", ln.Addr(), g.Name, g.Len())
+	if err := dist.Serve(ln, ev, *workers); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -16,6 +16,12 @@ import (
 // that doesn't match, because a resumed trajectory is only meaningful under
 // the exact configuration that produced it.
 
+// Fingerprint folds every option that shapes the search trajectory into a
+// stable string, applying defaults first so raw and normalized Options
+// agree. The distributed coordinator (internal/search/dist) embeds it in
+// its handshake and checkpoints; Resume checks it before restoring.
+func Fingerprint(opt Options) string { return fingerprint(opt.WithDefaults()) }
+
 // fingerprint folds every option that shapes the search trajectory into a
 // stable string. Workers and Trace are deliberately excluded — neither
 // changes results — so a checkpoint taken on one machine resumes on another
@@ -38,10 +44,10 @@ func fingerprint(opt Options) string {
 	)
 }
 
-// encodeGenome converts a genome to the wire form (nil-safe). withRes keeps
+// EncodeGenome converts a genome to the wire form (nil-safe). withRes keeps
 // the evaluation result — needed for best genomes and memo entries, dead
 // weight for population members, whose results the search never reads.
-func encodeGenome(g *core.Genome, withRes bool) *serialize.GenomeJSON {
+func EncodeGenome(g *core.Genome, withRes bool) *serialize.GenomeJSON {
 	if g == nil {
 		return nil
 	}
@@ -56,9 +62,9 @@ func encodeGenome(g *core.Genome, withRes bool) *serialize.GenomeJSON {
 	return j
 }
 
-// decodeGenome rebuilds a genome, revalidating the partition against the
+// DecodeGenome rebuilds a genome, revalidating the partition against the
 // graph. needRes rejects entries that must carry a result but don't.
-func decodeGenome(gr *graph.Graph, j *serialize.GenomeJSON, needRes bool) (*core.Genome, error) {
+func DecodeGenome(gr *graph.Graph, j *serialize.GenomeJSON, needRes bool) (*core.Genome, error) {
 	if j == nil {
 		return nil, nil
 	}
@@ -76,16 +82,42 @@ func decodeGenome(gr *graph.Graph, j *serialize.GenomeJSON, needRes bool) (*core
 	return &core.Genome{P: p, Mem: mem, Cost: j.Cost, Res: serialize.DecodeResult(j.Res)}, nil
 }
 
+// CheckCheckpoint verifies that a decoded snapshot belongs to the given
+// graph and configuration: graph name, options fingerprint, and ring
+// geometry must all match, because a resumed trajectory is only meaningful
+// under the exact configuration that produced it. Shared by the
+// single-process restore and the distributed coordinator.
+func CheckCheckpoint(cp *serialize.CheckpointJSON, graphName string, opt Options) error {
+	opt = opt.WithDefaults()
+	if cp.Graph != graphName {
+		return fmt.Errorf("search: checkpoint is for graph %q, not %q", cp.Graph, graphName)
+	}
+	if fp := fingerprint(opt); cp.Config != fp {
+		return fmt.Errorf("search: checkpoint config mismatch:\n  have %s\n  want %s", cp.Config, fp)
+	}
+	ring := opt.Islands + len(opt.Scouts)
+	if len(cp.Islands) != ring {
+		return fmt.Errorf("search: checkpoint has %d islands, want %d", len(cp.Islands), ring)
+	}
+	if cp.MigrantsSent != nil && len(cp.MigrantsSent) != ring {
+		return fmt.Errorf("search: checkpoint has %d migrant-sent counters, want %d", len(cp.MigrantsSent), ring)
+	}
+	if cp.MigrantsReceived != nil && len(cp.MigrantsReceived) != ring {
+		return fmt.Errorf("search: checkpoint has %d migrant-received counters, want %d", len(cp.MigrantsReceived), ring)
+	}
+	return nil
+}
+
 // save writes the orchestrator snapshot atomically.
 func (h *orchestrator) save(path string) error {
 	cp := &serialize.CheckpointJSON{
-		Graph:      h.ev.Graph().Name,
-		Config:     fingerprint(h.opt),
-		Round:      h.rounds,
-		Migrations: h.migrations,
-	}
-	for _, isl := range h.islands {
-		cp.Islands = append(cp.Islands, isl.snapshot())
+		Graph:            h.ev.Graph().Name,
+		Config:           fingerprint(h.opt),
+		Round:            h.rounds,
+		Migrations:       h.migrations,
+		MigrantsSent:     h.sent,
+		MigrantsReceived: h.recv,
+		Islands:          h.host.Snapshots(),
 	}
 	data, err := serialize.EncodeCheckpoint(cp)
 	if err != nil {
@@ -103,21 +135,15 @@ func (h *orchestrator) restore(snapshot []byte) error {
 	if err != nil {
 		return err
 	}
-	if cp.Graph != h.ev.Graph().Name {
-		return fmt.Errorf("search: checkpoint is for graph %q, not %q", cp.Graph, h.ev.Graph().Name)
+	if err := CheckCheckpoint(cp, h.ev.Graph().Name, h.opt); err != nil {
+		return err
 	}
-	if fp := fingerprint(h.opt); cp.Config != fp {
-		return fmt.Errorf("search: checkpoint config mismatch:\n  have %s\n  want %s", cp.Config, fp)
-	}
-	if len(cp.Islands) != len(h.islands) {
-		return fmt.Errorf("search: checkpoint has %d islands, want %d", len(cp.Islands), len(h.islands))
-	}
-	for i, isl := range h.islands {
-		if err := isl.restore(cp.Islands[i]); err != nil {
-			return err
-		}
+	if err := h.host.Restore(cp.Islands); err != nil {
+		return err
 	}
 	h.rounds = cp.Round
 	h.migrations = cp.Migrations
+	h.sent = cp.MigrantsSent
+	h.recv = cp.MigrantsReceived
 	return nil
 }

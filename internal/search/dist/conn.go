@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// frameWriter is the minimal sink writeMsg needs.
+type frameWriter interface {
+	writeFrame(t MsgType, payload []byte) error
+}
+
+// wire wraps one connection with buffered reads and mutex-serialized writes.
+// The mutex matters in async mode, where commit frames for a worker are
+// forwarded by other workers' driver goroutines and must not interleave
+// bytes with that worker's own request stream.
+type wire struct {
+	c   net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+}
+
+func newWire(c net.Conn) *wire {
+	return &wire{c: c, r: bufio.NewReaderSize(c, 1<<16)}
+}
+
+func (w *wire) writeFrame(t MsgType, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return WriteFrame(w.c, t, payload)
+}
+
+func (w *wire) read() (MsgType, []byte, error) {
+	return ReadFrame(w.r)
+}
+
+// readMsg reads one frame, surfaces MsgError bodies as Go errors, enforces
+// the expected type, and unmarshals into reply (which may be nil for
+// bodyless acks).
+func (w *wire) readMsg(want MsgType, reply any) error {
+	t, payload, err := w.read()
+	if err != nil {
+		return err
+	}
+	if t == MsgError {
+		var e errorMsg
+		if json.Unmarshal(payload, &e) == nil && e.Err != "" {
+			return fmt.Errorf("dist: peer error: %s", e.Err)
+		}
+		return fmt.Errorf("dist: peer error")
+	}
+	if t != want {
+		return fmt.Errorf("dist: got message type %d, want %d", t, want)
+	}
+	if reply == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, reply); err != nil {
+		return fmt.Errorf("dist: decode message %d: %w", t, err)
+	}
+	return nil
+}
+
+// request sends one message and reads its typed reply.
+func (w *wire) request(t MsgType, body any, wantReply MsgType, reply any) error {
+	if err := writeMsg(w, t, body); err != nil {
+		return err
+	}
+	return w.readMsg(wantReply, reply)
+}

@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("{}"), []byte(`{"proto":1,"fingerprint":"x"}`), bytes.Repeat([]byte{0xAB}, 4096)}
+	for ty := MsgError; ty <= msgTypeMax; ty++ {
+		for _, p := range payloads {
+			frame := EncodeFrame(ty, p)
+			gotT, gotP, n, err := DecodeFrame(frame)
+			if err != nil {
+				t.Fatalf("type %d: decode: %v", ty, err)
+			}
+			if gotT != ty || n != len(frame) || !bytes.Equal(gotP, p) {
+				t.Fatalf("type %d: round trip mismatch (type %d, n %d/%d)", ty, gotT, n, len(frame))
+			}
+			// Stream form agrees with the slice form.
+			st, sp, err := ReadFrame(bytes.NewReader(frame))
+			if err != nil || st != ty || !bytes.Equal(sp, p) {
+				t.Fatalf("type %d: ReadFrame disagrees: %v", ty, err)
+			}
+		}
+	}
+}
+
+func TestFrameDecodeConsumesPrefix(t *testing.T) {
+	a := EncodeFrame(MsgStep, []byte(`{}`))
+	b := EncodeFrame(MsgStepped, []byte(`{"progressed":[true]}`))
+	stream := append(append([]byte{}, a...), b...)
+	t1, _, n1, err := DecodeFrame(stream)
+	if err != nil || t1 != MsgStep || n1 != len(a) {
+		t.Fatalf("first frame: type %d n %d err %v", t1, n1, err)
+	}
+	t2, _, n2, err := DecodeFrame(stream[n1:])
+	if err != nil || t2 != MsgStepped || n2 != len(b) {
+		t.Fatalf("second frame: type %d n %d err %v", t2, n2, err)
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good := EncodeFrame(MsgHello, []byte(`{"proto":1}`))
+
+	corrupt := func(mutate func(f []byte)) []byte {
+		f := append([]byte{}, good...)
+		mutate(f)
+		return f
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", good[:headerSize-1], ErrTruncated},
+		{"missing payload", good[:len(good)-trailerSize-1], ErrTruncated},
+		{"missing trailer", good[:len(good)-1], ErrTruncated},
+		{"bad magic", corrupt(func(f []byte) { f[0] = 'X' }), ErrBadMagic},
+		{"bad version", corrupt(func(f []byte) {
+			binary.LittleEndian.PutUint32(f[len(frameMagic):], ProtocolVersion+1)
+		}), ErrVersion},
+		{"zero type", corrupt(func(f []byte) {
+			binary.LittleEndian.PutUint32(f[len(frameMagic)+4:], 0)
+		}), ErrBadType},
+		{"unknown type", corrupt(func(f []byte) {
+			binary.LittleEndian.PutUint32(f[len(frameMagic)+4:], uint32(msgTypeMax)+1)
+		}), ErrBadType},
+		{"oversized length", corrupt(func(f []byte) {
+			binary.LittleEndian.PutUint32(f[len(frameMagic)+8:], MaxPayload+1)
+		}), ErrFrameTooBig},
+		{"flipped payload bit", corrupt(func(f []byte) { f[headerSize] ^= 0x01 }), ErrBadChecksum},
+		{"flipped checksum bit", corrupt(func(f []byte) { f[len(f)-1] ^= 0x01 }), ErrBadChecksum},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		// The stream form classifies the same corruption the same way, except
+		// that a clean zero-byte stream is io.EOF (session over, not an error).
+		_, _, serr := ReadFrame(bytes.NewReader(tc.data))
+		wantStream := tc.want
+		if len(tc.data) == 0 {
+			wantStream = io.EOF
+		}
+		if !errors.Is(serr, wantStream) {
+			t.Errorf("%s: ReadFrame got %v, want %v", tc.name, serr, wantStream)
+		}
+	}
+}
+
+// FuzzDistFrameDecode drives the pure-slice decoder with arbitrary bytes: it
+// must never panic, and any frame it accepts must re-encode to exactly the
+// bytes it consumed (the codec is canonical — one valid encoding per
+// message).
+func FuzzDistFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrame(MsgHello, []byte(`{"proto":1,"fingerprint":"abc"}`)))
+	f.Add(EncodeFrame(MsgCommit, nil))
+	f.Add(EncodeFrame(MsgResult, bytes.Repeat([]byte("x"), 300)))
+	f.Add([]byte(frameMagic))
+	f.Add(append([]byte(frameMagic), bytes.Repeat([]byte{0xFF}, 24)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ty, payload, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < headerSize+trailerSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if !bytes.Equal(EncodeFrame(ty, payload), data[:n]) {
+			t.Fatalf("accepted frame is not canonical")
+		}
+		// The stream form must agree byte for byte.
+		st, sp, serr := ReadFrame(bytes.NewReader(data[:n]))
+		if serr != nil || st != ty || !bytes.Equal(sp, payload) {
+			t.Fatalf("ReadFrame disagrees with DecodeFrame: %v", serr)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+	"cocco/internal/search"
+	"cocco/internal/serialize"
+)
+
+// Serve accepts coordinator sessions on ln, one at a time, each driving a
+// fresh search.RingHost over this process's evaluator. workers is the
+// scoring-goroutine budget for this process (0 = all CPUs). Serve returns
+// when the listener closes; a failed session is logged and the worker goes
+// back to accepting, so a crashed-and-restarted coordinator can reconnect
+// and resume from its checkpoint.
+func Serve(ln net.Listener, ev *eval.Evaluator, workers int) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if err := serveConn(conn, ev, workers); err != nil && err != io.EOF {
+			log.Printf("dist worker: session from %s ended: %v", conn.RemoteAddr(), err)
+		}
+	}
+}
+
+// session is one coordinator connection's state.
+type session struct {
+	w       *wire
+	ev      *eval.Evaluator
+	workers int
+	host    *search.RingHost
+}
+
+func serveConn(conn net.Conn, ev *eval.Evaluator, workers int) error {
+	defer conn.Close()
+	s := &session{w: newWire(conn), ev: ev, workers: workers}
+	for {
+		t, payload, err := s.w.read()
+		if err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return err
+		}
+		if err := s.handle(t, payload); err != nil {
+			// Best-effort error frame, then drop the session: after a refused
+			// hello/assign or a failed handler the shared state is suspect.
+			_ = writeMsg(s.w, MsgError, errorMsg{Err: err.Error()})
+			return err
+		}
+	}
+}
+
+func (s *session) handle(t MsgType, payload []byte) error {
+	switch t {
+	case MsgHello:
+		var h helloMsg
+		if err := json.Unmarshal(payload, &h); err != nil {
+			return fmt.Errorf("dist: decode hello: %w", err)
+		}
+		if local := evFingerprint(s.ev); h.Fingerprint != local {
+			return fmt.Errorf("dist: evaluator fingerprint mismatch:\n  coordinator %s\n  worker      %s", h.Fingerprint, local)
+		}
+		return writeMsg(s.w, MsgHelloAck, helloMsg{Proto: ProtocolVersion, Fingerprint: evFingerprint(s.ev)})
+
+	case MsgAssign:
+		var a assignMsg
+		if err := json.Unmarshal(payload, &a); err != nil {
+			return fmt.Errorf("dist: decode assign: %w", err)
+		}
+		opt, err := decodeOptions(a.Options, s.workers)
+		if err != nil {
+			return err
+		}
+		// The self-check that keeps optionsWire honest: a trajectory-shaping
+		// field missing from the wire form changes the fingerprint.
+		if local := search.Fingerprint(opt); local != a.Config {
+			return fmt.Errorf("dist: options fingerprint mismatch after decode:\n  coordinator %s\n  worker      %s", a.Config, local)
+		}
+		host, err := search.NewRingHost(s.ev, opt, a.Lo, a.Hi)
+		if err != nil {
+			return err
+		}
+		if a.Islands != nil {
+			if err := host.Restore(a.Islands); err != nil {
+				return err
+			}
+		}
+		s.host = host
+		return writeMsg(s.w, MsgAssignAck, struct{}{})
+
+	case MsgStep:
+		if s.host == nil {
+			return errors.New("dist: step before assign")
+		}
+		progressed := s.host.Step(s.host.Options().MigrateEvery)
+		return writeMsg(s.w, MsgStepped, steppedMsg{Progressed: progressed, Done: s.host.Done()})
+
+	case MsgEmigrantsReq:
+		if s.host == nil {
+			return errors.New("dist: emigrants before assign")
+		}
+		out := s.host.Emigrants()
+		msg := emigrantsMsg{Out: make([][]serialize.GenomeJSON, len(out))}
+		for i, gs := range out {
+			for _, g := range gs {
+				msg.Out[i] = append(msg.Out[i], *search.EncodeGenome(g, true))
+			}
+		}
+		return writeMsg(s.w, MsgEmigrants, msg)
+
+	case MsgCommit:
+		if s.host == nil {
+			return errors.New("dist: commit before assign")
+		}
+		var c commitMsg
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return fmt.Errorf("dist: decode commit: %w", err)
+		}
+		gr := s.ev.Graph()
+		for _, ci := range c.Islands {
+			gs := make([]*core.Genome, 0, len(ci.Genomes))
+			for k := range ci.Genomes {
+				g, err := search.DecodeGenome(gr, &ci.Genomes[k], false)
+				if err != nil {
+					return fmt.Errorf("dist: commit island %d genome %d: %w", ci.Island, k, err)
+				}
+				gs = append(gs, g)
+			}
+			if err := s.host.Immigrate(ci.Island, gs); err != nil {
+				return err
+			}
+		}
+		return nil // one-way
+
+	case MsgSnapshotReq:
+		if s.host == nil {
+			return errors.New("dist: snapshot before assign")
+		}
+		return writeMsg(s.w, MsgSnapshot, snapshotMsg{Islands: s.host.Snapshots()})
+
+	case MsgResultReq:
+		if s.host == nil {
+			return errors.New("dist: result before assign")
+		}
+		msg := resultMsg{Stats: s.host.Stats()}
+		for _, b := range s.host.Bests() {
+			msg.Bests = append(msg.Bests, search.EncodeGenome(b, true))
+		}
+		return writeMsg(s.w, MsgResult, msg)
+
+	case MsgError:
+		var e errorMsg
+		_ = json.Unmarshal(payload, &e)
+		return fmt.Errorf("dist: coordinator error: %s", e.Err)
+
+	default:
+		return fmt.Errorf("dist: unexpected message type %d", t)
+	}
+}

@@ -105,13 +105,13 @@ func (g *gaIsland) snapshot() serialize.IslandJSON {
 		FeasibleSamples: st.Stats.FeasibleSamples,
 		MemoHits:        st.Stats.MemoHits,
 		BestHistory:     st.Stats.BestHistory,
-		Best:            encodeGenome(st.Best, true),
+		Best:            EncodeGenome(st.Best, true),
 	}
 	for _, m := range st.Population {
-		j.Population = append(j.Population, *encodeGenome(m, false))
+		j.Population = append(j.Population, *EncodeGenome(m, false))
 	}
 	for _, m := range st.Memo {
-		j.Memo = append(j.Memo, *encodeGenome(m, true))
+		j.Memo = append(j.Memo, *EncodeGenome(m, true))
 	}
 	return j
 }
@@ -138,18 +138,18 @@ func (g *gaIsland) restore(j serialize.IslandJSON) error {
 		},
 	}
 	var err error
-	if st.Best, err = decodeGenome(gr, j.Best, true); err != nil {
+	if st.Best, err = DecodeGenome(gr, j.Best, true); err != nil {
 		return fmt.Errorf("search: island %d best: %w", g.ringIdx, err)
 	}
 	for i := range j.Population {
-		m, err := decodeGenome(gr, &j.Population[i], false)
+		m, err := DecodeGenome(gr, &j.Population[i], false)
 		if err != nil {
 			return fmt.Errorf("search: island %d population[%d]: %w", g.ringIdx, i, err)
 		}
 		st.Population = append(st.Population, m)
 	}
 	for i := range j.Memo {
-		m, err := decodeGenome(gr, &j.Memo[i], true)
+		m, err := DecodeGenome(gr, &j.Memo[i], true)
 		if err != nil {
 			return fmt.Errorf("search: island %d memo[%d]: %w", g.ringIdx, i, err)
 		}

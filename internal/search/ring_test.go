@@ -1,0 +1,122 @@
+package search
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cocco/internal/core"
+	"cocco/internal/eval"
+)
+
+// TestSplitWorkers pins the remainder distribution: the old total/ring split
+// left up to ring-1 workers idle (7 workers over 5 slots ran as [1,1,1,1,1]).
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct {
+		total, ring int
+		want        []int
+	}{
+		{7, 5, []int{2, 2, 1, 1, 1}}, // the motivating case: remainder 2 goes to the first islands
+		{8, 4, []int{2, 2, 2, 2}},
+		{10, 1, []int{10}},
+		{3, 5, []int{1, 1, 1, 1, 1}}, // fewer workers than slots: everyone keeps one
+		{5, 5, []int{1, 1, 1, 1, 1}},
+		{11, 3, []int{4, 4, 3}},
+	}
+	for _, c := range cases {
+		if got := splitWorkers(c.total, c.ring); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitWorkers(%d,%d) = %v, want %v", c.total, c.ring, got, c.want)
+		}
+	}
+	// total<=0 means "all CPUs"; only the shape is stable across machines.
+	if got := splitWorkers(0, 3); len(got) != 3 || got[0] < got[2] || got[2] < 1 {
+		t.Errorf("splitWorkers(0,3) = %v, want 3 near-equal positive slots", got)
+	}
+}
+
+// TestRunOrResumeCorruptCheckpoint pins the error message for a truncated
+// checkpoint file: it must name the file and tell the user that deleting it
+// restarts the search fresh, instead of surfacing a bare JSON decode error.
+func TestRunOrResumeCorruptCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "trunc.ckpt")
+	opt := Options{
+		Core: core.Options{
+			Seed: 5, Workers: 1, Population: 10, MaxSamples: 100,
+			Objective: eval.Objective{Metric: eval.MetricEMA},
+			Mem:       core.MemSearch{Fixed: fixedMem()},
+		},
+		Islands: 2, MigrateEvery: 1, Checkpoint: ckpt,
+	}
+	if _, _, err := Run(evaluatorFor(t, "mobilenetv2"), opt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := RunOrResume(evaluatorFor(t, "mobilenetv2"), opt, ckpt)
+	if err == nil {
+		t.Fatal("resume from a truncated checkpoint succeeded")
+	}
+	if stats != nil {
+		t.Errorf("corrupt checkpoint returned stats: %+v", stats)
+	}
+	for _, want := range []string{ckpt, "delete the file"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestMigrationCounters pins the per-island exchange accounting: in a ring
+// every island sends to its successor, so received counts are the sent
+// counts rotated by one, totals match Migrations×Migrants bounds, and the
+// counters survive a checkpoint round-trip (covered by DeepEqual in
+// TestCheckpointResume since Stats now carries them).
+func TestMigrationCounters(t *testing.T) {
+	opt := Options{
+		Core: core.Options{
+			Seed: 9, Workers: 2, Population: 16, MaxSamples: 400,
+			Objective: eval.Objective{Metric: eval.MetricEMA},
+			Mem:       core.MemSearch{Fixed: fixedMem()},
+		},
+		Islands: 3, MigrateEvery: 2, Migrants: 2,
+	}
+	_, stats, err := Run(evaluatorFor(t, "mobilenetv2"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Migrations == 0 {
+		t.Fatal("expected at least one migration barrier")
+	}
+	ring := 3
+	if len(stats.MigrantsSent) != ring || len(stats.MigrantsReceived) != ring {
+		t.Fatalf("counter lengths %d/%d, want %d", len(stats.MigrantsSent), len(stats.MigrantsReceived), ring)
+	}
+	for i := 0; i < ring; i++ {
+		if got, want := stats.MigrantsReceived[(i+1)%ring], stats.MigrantsSent[i]; got != want {
+			t.Errorf("island %d sent %d but successor received %d", i, want, got)
+		}
+		if stats.MigrantsSent[i] == 0 {
+			t.Errorf("island %d sent no migrants over %d barriers", i, stats.Migrations)
+		}
+		if max := stats.Migrations * opt.Migrants; stats.MigrantsSent[i] > max {
+			t.Errorf("island %d sent %d > %d possible", i, stats.MigrantsSent[i], max)
+		}
+	}
+	// A solo ring never migrates and reports no counters.
+	solo := opt
+	solo.Islands = 1
+	_, soloStats, err := Run(evaluatorFor(t, "mobilenetv2"), solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloStats.MigrantsSent != nil || soloStats.MigrantsReceived != nil {
+		t.Errorf("solo ring reported migration counters: %+v", soloStats)
+	}
+}

@@ -173,8 +173,8 @@ func (s *saScout) snapshot() serialize.IslandJSON {
 		RNG:     serialize.RNGStateJSON{Seed: s.src.SeedValue(), Draws: s.src.Draws()},
 		Samples: s.samples,
 		Temp:    s.temp,
-		Cur:     encodeGenome(s.cur, false),
-		Best:    encodeGenome(s.bst, true),
+		Cur:     EncodeGenome(s.cur, false),
+		Best:    EncodeGenome(s.bst, true),
 	}
 }
 
@@ -186,10 +186,10 @@ func (s *saScout) restore(j serialize.IslandJSON) error {
 		return fmt.Errorf("search: island %d: scout seed mismatch", s.ringIdx)
 	}
 	var err error
-	if s.cur, err = decodeGenome(s.ev.Graph(), j.Cur, false); err != nil {
+	if s.cur, err = DecodeGenome(s.ev.Graph(), j.Cur, false); err != nil {
 		return fmt.Errorf("search: island %d cur: %w", s.ringIdx, err)
 	}
-	if s.bst, err = decodeGenome(s.ev.Graph(), j.Best, true); err != nil {
+	if s.bst, err = DecodeGenome(s.ev.Graph(), j.Best, true); err != nil {
 		return fmt.Errorf("search: island %d best: %w", s.ringIdx, err)
 	}
 	s.samples = j.Samples
@@ -278,7 +278,7 @@ func (g *greedyScout) snapshot() serialize.IslandJSON {
 		Kind:    "greedy",
 		Started: g.started,
 		Samples: g.samples,
-		Best:    encodeGenome(g.bst, true),
+		Best:    EncodeGenome(g.bst, true),
 	}
 }
 
@@ -287,7 +287,7 @@ func (g *greedyScout) restore(j serialize.IslandJSON) error {
 		return fmt.Errorf("search: island %d: checkpoint kind %q, want greedy", g.ringIdx, j.Kind)
 	}
 	var err error
-	if g.bst, err = decodeGenome(g.ev.Graph(), j.Best, true); err != nil {
+	if g.bst, err = DecodeGenome(g.ev.Graph(), j.Best, true); err != nil {
 		return fmt.Errorf("search: island %d best: %w", g.ringIdx, err)
 	}
 	g.started = j.Started

@@ -25,7 +25,6 @@ package search
 import (
 	"fmt"
 	"os"
-	"runtime"
 
 	"cocco/internal/core"
 	"cocco/internal/eval"
@@ -86,7 +85,7 @@ type Options struct {
 	MaxRounds int
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) WithDefaults() Options {
 	o.Core = o.Core.WithDefaults()
 	if o.Islands <= 0 {
 		o.Islands = 1
@@ -121,6 +120,11 @@ type Stats struct {
 	// IslandStats holds each GA island's optimizer statistics, in ring
 	// order. Scout islands contribute a Stats with only Samples filled.
 	IslandStats []core.Stats
+	// MigrantsSent and MigrantsReceived count the genomes each ring island
+	// exported and imported across all migration barriers, in ring order
+	// (nil when the ring never migrated).
+	MigrantsSent     []int
+	MigrantsReceived []int
 }
 
 // island is one ring member: a GA population or a scout.
@@ -147,13 +151,14 @@ type island interface {
 
 // orchestrator drives the ring.
 type orchestrator struct {
-	ev      *eval.Evaluator
-	opt     Options
-	islands []island
+	ev   *eval.Evaluator
+	opt  Options
+	host *RingHost
 
 	rounds     int
 	migrations int
 	paused     bool
+	sent, recv []int // per ring island, allocated at the first barrier
 }
 
 // Run executes an orchestrated search from scratch.
@@ -185,7 +190,15 @@ func RunOrResume(ev *eval.Evaluator, opt Options, resumePath string) (*core.Geno
 	if resumePath != "" {
 		data, err := os.ReadFile(resumePath)
 		if err == nil {
-			return Resume(ev, opt, data)
+			best, stats, rerr := Resume(ev, opt, data)
+			if rerr != nil && stats == nil {
+				// The snapshot never loaded (corrupt, truncated, or for a
+				// different configuration) — as opposed to a search that
+				// resumed fine but ended without a feasible genome, which
+				// reports Stats. Name the file and the way out.
+				rerr = fmt.Errorf("search: resume from checkpoint %s: %w (delete the file to restart the search from scratch)", resumePath, rerr)
+			}
+			return best, stats, rerr
 		}
 		if !os.IsNotExist(err) {
 			return nil, nil, fmt.Errorf("search: read checkpoint: %w", err)
@@ -195,68 +208,24 @@ func RunOrResume(ev *eval.Evaluator, opt Options, resumePath string) (*core.Geno
 }
 
 func newOrchestrator(ev *eval.Evaluator, opt Options) (*orchestrator, error) {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	if opt.MaxRounds > 0 && opt.Checkpoint == "" {
 		// A pause without a snapshot discards the whole trajectory — the
 		// remaining budget could never be resumed. Always a mistake.
 		return nil, fmt.Errorf("search: MaxRounds requires a Checkpoint path to resume from")
 	}
-	h := &orchestrator{ev: ev, opt: opt}
-
-	// Split the scoring-worker budget across islands; every island keeps at
-	// least one worker. Worker counts never change results anywhere in the
-	// stack, so the split is purely a throughput decision.
-	total := opt.Core.Workers
-	if total <= 0 {
-		total = runtime.NumCPU()
+	host, err := NewRingHost(ev, opt, 0, opt.Islands+len(opt.Scouts))
+	if err != nil {
+		return nil, err
 	}
-	ring := opt.Islands + len(opt.Scouts)
-	perIsland := total / ring
-	if perIsland < 1 {
-		perIsland = 1
-	}
-
-	seed := opt.Core.Seed
-	for i := 0; i < opt.Islands; i++ {
-		iopt := opt.Core
-		iopt.Workers = perIsland
-		if opt.Islands == 1 && len(opt.Scouts) == 0 {
-			// The solo island IS core.Run; give it the full worker budget.
-			iopt.Workers = total
-		}
-		if i > 0 {
-			iopt.Seed = core.ChildSeedStream(seed, core.StreamIslands, i)
-			// Only island 0 honors Init seeding and Trace, so multi-island
-			// runs neither replay seeds K times nor interleave trace streams.
-			iopt.Init = nil
-			iopt.Trace = nil
-		}
-		isl, err := newGAIsland(ev, iopt, seed, i)
-		if err != nil {
-			return nil, err
-		}
-		h.islands = append(h.islands, isl)
-	}
-	for s, kind := range opt.Scouts {
-		ringIdx := opt.Islands + s
-		isl, err := newScout(ev, opt, kind, seed, ringIdx)
-		if err != nil {
-			return nil, err
-		}
-		h.islands = append(h.islands, isl)
-	}
-	return h, nil
+	return &orchestrator{ev: ev, opt: opt, host: host}, nil
 }
 
 func (h *orchestrator) run() (*core.Genome, *Stats, error) {
-	ring := len(h.islands)
-	stepWorkers := ring // islands are goroutine-cheap; scoring workers are capped separately
-	progressed := make([]bool, ring)
+	ring := h.host.RingSize()
 	startRound := h.rounds
 	for {
-		core.ParallelFor(ring, stepWorkers, func(i int) {
-			progressed[i] = h.islands[i].step(h.opt.MigrateEvery)
-		})
+		progressed := h.host.Step(h.opt.MigrateEvery)
 		any := false
 		for _, p := range progressed {
 			any = any || p
@@ -291,8 +260,8 @@ func (h *orchestrator) run() (*core.Genome, *Stats, error) {
 
 // allDone reports whether every island has exhausted its budget.
 func (h *orchestrator) allDone() bool {
-	for _, isl := range h.islands {
-		if !isl.done() {
+	for _, d := range h.host.Done() {
+		if !d {
 			return false
 		}
 	}
@@ -303,29 +272,32 @@ func (h *orchestrator) allDone() bool {
 // selected first (so selection sees only pre-barrier populations), then
 // committed to each ring successor, both passes in ascending island order.
 func (h *orchestrator) migrate() {
-	ring := len(h.islands)
-	out := make([][]*core.Genome, ring)
-	for i := 0; i < ring; i++ {
-		out[i] = h.islands[i].emigrants(h.opt.Migrants)
+	ring := h.host.RingSize()
+	if h.sent == nil {
+		h.sent = make([]int, ring)
+		h.recv = make([]int, ring)
 	}
-	for i := 0; i < ring; i++ {
-		h.islands[(i+1)%ring].immigrate(out[i])
+	out := h.host.Emigrants()
+	for i, gs := range out {
+		h.host.Immigrate((i+1)%ring, gs)
+		h.sent[i] += len(gs)
+		h.recv[(i+1)%ring] += len(gs)
 	}
 	h.migrations++
 }
 
 func (h *orchestrator) finish() (*core.Genome, *Stats, error) {
-	st := &Stats{Rounds: h.rounds, Migrations: h.migrations, BestIsland: -1, Paused: h.paused}
-	var best *core.Genome
-	for i, isl := range h.islands {
-		is := isl.stats()
+	st := &Stats{
+		Rounds: h.rounds, Migrations: h.migrations, BestIsland: -1, Paused: h.paused,
+		MigrantsSent: h.sent, MigrantsReceived: h.recv,
+	}
+	best, bestIdx := AggregateBest(h.host.Bests())
+	st.BestIsland = bestIdx
+	for _, is := range h.host.Stats() {
 		st.IslandStats = append(st.IslandStats, is)
 		st.Samples += is.Samples
 		st.FeasibleSamples += is.FeasibleSamples
 		st.MemoHits += is.MemoHits
-		if b := isl.best(); b != nil && (best == nil || b.Cost < best.Cost) {
-			best, st.BestIsland = b, i
-		}
 	}
 	if best == nil {
 		if h.paused {
@@ -336,7 +308,22 @@ func (h *orchestrator) finish() (*core.Genome, *Stats, error) {
 				st.Rounds, st.Samples)
 		}
 		return nil, st, fmt.Errorf("search: no feasible genome found in %d samples across %d islands",
-			st.Samples, len(h.islands))
+			st.Samples, h.host.RingSize())
 	}
 	return best, st, nil
+}
+
+// AggregateBest picks the run's winner from per-island bests in ring order:
+// strict cost comparison, first island wins ties. Returns (nil, -1) when no
+// island has a feasible best. The distributed coordinator applies the same
+// rule to bests collected over the wire, so both paths crown one winner.
+func AggregateBest(bests []*core.Genome) (*core.Genome, int) {
+	var best *core.Genome
+	idx := -1
+	for i, b := range bests {
+		if b != nil && (best == nil || b.Cost < best.Cost) {
+			best, idx = b, i
+		}
+	}
+	return best, idx
 }

@@ -139,12 +139,18 @@ type IslandJSON struct {
 
 // CheckpointJSON is the wire form of a paused orchestrator run.
 type CheckpointJSON struct {
-	Version    int          `json:"version"`
-	Graph      string       `json:"graph"`
-	Config     string       `json:"config"`
-	Round      int          `json:"round"`
-	Migrations int          `json:"migrations"`
-	Islands    []IslandJSON `json:"islands"`
+	Version    int    `json:"version"`
+	Graph      string `json:"graph"`
+	Config     string `json:"config"`
+	Round      int    `json:"round"`
+	Migrations int    `json:"migrations"`
+	// MigrantsSent and MigrantsReceived count genomes exchanged per ring
+	// island since the start of the run (omitted when the ring never
+	// migrated). Additive since the counters were introduced: a snapshot
+	// without them restores with nil counters.
+	MigrantsSent     []int        `json:"migrants_sent,omitempty"`
+	MigrantsReceived []int        `json:"migrants_recv,omitempty"`
+	Islands          []IslandJSON `json:"islands"`
 }
 
 // EncodeCheckpoint marshals a snapshot, stamping the current version on the
