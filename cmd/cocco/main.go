@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"cocco/internal/core"
 	"cocco/internal/eval"
@@ -67,8 +68,9 @@ func main() {
 		cacheLoad  = flag.String("cache-load", "", "warm-start from this cost-cache snapshot if it exists (same model/core-geometry/tiling required — memory capacities, core count, and batch may differ; results are identical, only faster)")
 		cacheSave  = flag.String("cache-save", "", "write the cost cache to this path after the search, for future -cache-load runs")
 
-		distWorkers = flag.String("dist-workers", "", "comma-separated coccow addresses; run the island ring across these worker processes (bit-identical to the same flags in-process)")
-		distAsync   = flag.Bool("dist-async", false, "with -dist-workers: eventual migration without round barriers (faster coordination, non-deterministic, no checkpoints)")
+		distWorkers   = flag.String("dist-workers", "", "comma-separated coccow addresses; run the island ring across these worker processes (bit-identical to the same flags in-process)")
+		distAsync     = flag.Bool("dist-async", false, "with -dist-workers: eventual migration without round barriers (faster coordination, non-deterministic, no checkpoints)")
+		distIOTimeout = flag.Duration("dist-io-timeout", 3*time.Minute, "with -dist-workers: per-frame I/O deadline on worker connections; must exceed the slowest worker's MigrateEvery-round step (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -174,7 +176,7 @@ func main() {
 		stats *search.Stats
 	)
 	if *distWorkers != "" {
-		dopt := dist.Options{Search: sopt, Async: *distAsync}
+		dopt := dist.Options{Search: sopt, Async: *distAsync, IOTimeout: *distIOTimeout}
 		for _, a := range strings.Split(*distWorkers, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				dopt.Workers = append(dopt.Workers, a)

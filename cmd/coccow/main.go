@@ -9,6 +9,11 @@
 //	coccow -model resnet152 -listen 127.0.0.1:7701 &
 //	coccow -model resnet152 -listen 127.0.0.1:7702 &
 //	cocco  -model resnet152 -islands 4 -scouts sa -dist-workers 127.0.0.1:7701,127.0.0.1:7702
+//
+// SIGINT/SIGTERM drain the worker: the listener closes (no new sessions), an
+// in-flight session is aborted at its next frame boundary with an error frame
+// to the coordinator, and the process exits with status 3 so supervisors can
+// tell a clean drain from a crash.
 package main
 
 import (
@@ -18,7 +23,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cocco/internal/eval"
 	"cocco/internal/hw"
@@ -40,6 +48,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "evaluation goroutines for this process (0 = all CPUs)")
 		tcfgFlag  = flag.String("tiling", tiling.DefaultConfig().String(), "base tile as HxW (must match the coordinator)")
 		cacheLoad = flag.String("cache-load", "", "warm-start from this cost-cache snapshot if it exists")
+		ioTimeout = flag.Duration("io-timeout", 3*time.Minute, "per-frame I/O deadline on coordinator sessions; must exceed the fleet's slowest MigrateEvery-round step (0 = no deadline)")
 	)
 	flag.Parse()
 
@@ -81,7 +90,22 @@ func main() {
 	// The resolved address matters with -listen :0; print it in a greppable
 	// form so scripts (and the CI dist-smoke job) can pick it up.
 	fmt.Printf("coccow listening on %s (model %s, %d nodes)\n", ln.Addr(), g.Name, g.Len())
-	if err := dist.Serve(ln, ev, *workers); err != nil {
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v: refusing new sessions, aborting in-flight session at next frame", s)
+		close(stop)
+	}()
+
+	err = dist.ServeWith(ln, ev, dist.ServeConfig{Workers: *workers, IOTimeout: *ioTimeout, Stop: stop})
+	switch {
+	case errors.Is(err, dist.ErrDraining):
+		log.Printf("drained cleanly")
+		os.Exit(3)
+	case err != nil:
 		log.Fatal(err)
 	}
 }

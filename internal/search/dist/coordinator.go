@@ -31,6 +31,14 @@ type Options struct {
 	Async bool
 	// DialTimeout bounds each worker connection attempt (default 10s).
 	DialTimeout time.Duration
+	// IOTimeout, when positive, sets a deadline on every frame read and
+	// write to a worker, so a hung or half-open socket fails the round
+	// with an actionable per-worker error instead of stalling the
+	// migration barrier forever. It must exceed the longest legitimate
+	// silence — the slowest worker's MigrateEvery-round step. Zero
+	// disables deadlines (tests, trusted local fleets); cmd/cocco
+	// defaults it to a few minutes.
+	IOTimeout time.Duration
 }
 
 // peer is one connected worker and its ring slice.
@@ -69,6 +77,11 @@ type coordinator struct {
 	migrations int
 	paused     bool
 	sent, recv []int
+
+	// closeOnce guarantees every peer connection is closed exactly once,
+	// whichever of the (handshake-failure, run-failure, normal-finish)
+	// paths gets there first.
+	closeOnce sync.Once
 }
 
 // Run executes a distributed search from scratch. With the same
@@ -138,6 +151,11 @@ func newCoordinator(ev *eval.Evaluator, opt Options, cp *serialize.CheckpointJSO
 	if sopt.Core.Init != nil || sopt.Core.Trace != nil {
 		return nil, errors.New("dist: Core.Init and Core.Trace are not supported in distributed runs")
 	}
+	if sopt.Progress != nil {
+		// Silently dropping the callback would look like a stalled run to a
+		// caller that relies on it; refuse loudly like Init/Trace.
+		return nil, errors.New("dist: Options.Progress is not supported in distributed runs")
+	}
 	if len(opt.Workers) == 0 {
 		return nil, errors.New("dist: no worker addresses")
 	}
@@ -169,7 +187,7 @@ func newCoordinator(ev *eval.Evaluator, opt Options, cp *serialize.CheckpointJSO
 		if err != nil {
 			return c, fmt.Errorf("dist: worker %s: %w", addr, err)
 		}
-		c.peers = append(c.peers, &peer{addr: addr, w: newWire(conn), lo: slices[i][0], hi: slices[i][1]})
+		c.peers = append(c.peers, &peer{addr: addr, w: newWire(conn, opt.IOTimeout), lo: slices[i][0], hi: slices[i][1]})
 	}
 
 	hello := helloMsg{Proto: ProtocolVersion, Fingerprint: evFingerprint(ev)}
@@ -197,12 +215,21 @@ func newCoordinator(ev *eval.Evaluator, opt Options, cp *serialize.CheckpointJSO
 	return c, nil
 }
 
+// close tears down every worker connection exactly once. It is reached from
+// run's deferred cleanup on every path — handshake/assign failure (including
+// the partial-fleet case where some workers connected and one failed),
+// mid-run errors, and normal completion — and the Once keeps a second
+// arrival from double-closing peers. Closing the connection is also what
+// releases the surviving workers: their sequential frame loops see EOF and
+// go back to accepting.
 func (c *coordinator) close() {
-	for _, p := range c.peers {
-		if p.w != nil {
-			p.w.c.Close()
+	c.closeOnce.Do(func() {
+		for _, p := range c.peers {
+			if p.w != nil {
+				p.w.c.Close()
+			}
 		}
-	}
+	})
 }
 
 // each runs fn once per connected peer, concurrently, and joins errors

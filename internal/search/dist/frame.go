@@ -178,7 +178,9 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		// %w-chain the transport error so callers can still detect net.Error
+		// timeouts (the dist wire's I/O deadlines) through the wrapper.
+		return 0, nil, fmt.Errorf("%w: %w", ErrTruncated, err)
 	}
 	t, n, err := parseHeader(hdr)
 	if err != nil {
@@ -187,7 +189,7 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	frame := make([]byte, headerSize+n+trailerSize)
 	copy(frame, hdr)
 	if _, err := io.ReadFull(r, frame[headerSize:]); err != nil {
-		return 0, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return 0, nil, fmt.Errorf("%w: %w", ErrTruncated, err)
 	}
 	if err := checkSum(frame); err != nil {
 		return 0, nil, err

@@ -1,0 +1,233 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"cocco/internal/search"
+)
+
+// silentListener accepts connections and never writes a byte — the shape of
+// a hung or half-open peer.
+func silentListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestWireReadTimeout pins the satellite bugfix at the wire layer: a read
+// from a silent peer fails within the deadline instead of blocking forever,
+// the error names the operation and duration, and the underlying net.Error
+// stays detectable through every wrapper (including ErrTruncated).
+func TestWireReadTimeout(t *testing.T) {
+	addr := silentListener(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := newWire(conn, 50*time.Millisecond)
+	start := time.Now()
+	_, _, err = w.read()
+	if err == nil {
+		t.Fatal("read from silent peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("read took %v; the deadline did not fire", elapsed)
+	}
+	if !strings.Contains(err.Error(), "timed out after 50ms") {
+		t.Errorf("timeout error does not name the deadline: %v", err)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("net deadline not detectable through the wrapper chain: %v", err)
+	}
+}
+
+// TestWireZeroTimeoutSetsNoDeadline: timeout 0 must leave the connection
+// deadline-free (the mode every determinism test runs in).
+func TestWireZeroTimeoutSetsNoDeadline(t *testing.T) {
+	addr := silentListener(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := newWire(conn, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w.read()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("read returned (%v) with no deadline and no data", err)
+	case <-time.After(300 * time.Millisecond):
+		// Still blocked: exactly right.
+	}
+}
+
+// TestCoordinatorTimeoutNamesWorker: a fleet where one worker never answers
+// the handshake fails the run within the I/O timeout, and the error carries
+// that worker's address so an operator knows which machine to look at.
+func TestCoordinatorTimeoutNamesWorker(t *testing.T) {
+	model := "mobilenetv2"
+	good := startWorker(t, model)
+	silent := silentListener(t)
+	start := time.Now()
+	_, _, err := Run(evaluatorFor(t, model), Options{
+		Search:    testOptions(),
+		Workers:   []string{good, silent},
+		IOTimeout: 200 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("run with a silent worker succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("run took %v to fail; deadline did not bound the hang", elapsed)
+	}
+	if !strings.Contains(err.Error(), silent) {
+		t.Errorf("error does not name the silent worker %s: %v", silent, err)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error does not mention the timeout: %v", err)
+	}
+}
+
+// TestCoordinatorReleasesWorkersOnHandshakeFailure pins the close-once
+// satellite behaviorally: when one worker of a mixed fleet refuses the
+// handshake (fingerprint mismatch), the coordinator must close every peer
+// connection — workers serve one session at a time, so a leaked connection
+// would leave the good workers stuck in a dead session and the follow-up run
+// would hang at hello instead of succeeding.
+func TestCoordinatorReleasesWorkersOnHandshakeFailure(t *testing.T) {
+	good := startWorkers(t, "mobilenetv2", 2)
+	bad := startWorker(t, "resnet50") // different model → fingerprint mismatch
+
+	_, _, err := Run(evaluatorFor(t, "mobilenetv2"), Options{
+		Search:  testOptions(),
+		Workers: []string{good[0], good[1], bad},
+	})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("mixed fleet: got %v, want fingerprint mismatch", err)
+	}
+
+	// The IOTimeout turns a leak regression into a fast failure here rather
+	// than a suite hang.
+	best, _, err := Run(evaluatorFor(t, "mobilenetv2"), Options{
+		Search:    testOptions(),
+		Workers:   good,
+		IOTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("good fleet after failed handshake: %v (leaked worker sessions?)", err)
+	}
+	if best == nil {
+		t.Fatal("good fleet found no feasible genome")
+	}
+}
+
+// TestProgressRejectedInDist: Options.Progress is observation-only and not
+// forwarded across the wire; like Core.Init and Core.Trace it must be
+// refused loudly rather than silently dropped.
+func TestProgressRejectedInDist(t *testing.T) {
+	opt := testOptions()
+	opt.Progress = func(search.Progress) {}
+	_, _, err := Run(evaluatorFor(t, "mobilenetv2"), Options{
+		Search:  opt,
+		Workers: []string{"127.0.0.1:1"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Progress") {
+		t.Errorf("got %v, want Progress rejection", err)
+	}
+}
+
+// TestWorkerDrain pins the coccow-signal satellite at the library layer:
+// closing ServeConfig.Stop makes the worker refuse new sessions, abort the
+// in-flight session at its next frame boundary with an error frame to the
+// coordinator, and return ErrDraining.
+func TestWorkerDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	served := make(chan error, 1)
+	go func() {
+		served <- ServeWith(ln, evaluatorFor(t, "mobilenetv2"), ServeConfig{Workers: 1, Stop: stop})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := newWire(conn, 0)
+	hello := helloMsg{Proto: ProtocolVersion, Fingerprint: evFingerprint(evaluatorFor(t, "mobilenetv2"))}
+	var ack helloMsg
+	if err := w.request(MsgHello, hello, MsgHelloAck, &ack); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+
+	// Worker is now blocked reading our next frame; drain it.
+	close(stop)
+	t2, payload, err := ReadFrame(w.r)
+	if err != nil {
+		t.Fatalf("expected an error frame before the close, got %v", err)
+	}
+	if t2 != MsgError || !strings.Contains(string(payload), "draining") {
+		t.Errorf("got frame type %d payload %q, want MsgError mentioning draining", t2, payload)
+	}
+
+	select {
+	case err := <-served:
+		if !errors.Is(err, ErrDraining) {
+			t.Errorf("ServeWith returned %v, want ErrDraining", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeWith did not return after Stop closed")
+	}
+
+	// And no new sessions: the listener is closed.
+	if _, err := net.Dial("tcp", ln.Addr().String()); err == nil {
+		t.Error("worker accepted a new connection while draining")
+	}
+}
+
+// TestDistWithIOTimeoutStillDeterministic: turning deadlines on (a healthy
+// fleet never hits them) must not perturb the bit-exact equivalence with the
+// single-process run.
+func TestDistWithIOTimeoutStillDeterministic(t *testing.T) {
+	model := "mobilenetv2"
+	opt := testOptions()
+	wantBest, wantStats, err := search.Run(evaluatorFor(t, model), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, gotStats, err := Run(evaluatorFor(t, model), Options{
+		Search:    opt,
+		Workers:   startWorkers(t, model, 2),
+		IOTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGenome(t, "deadlined", wantBest, gotBest)
+	sameStats(t, "deadlined", wantStats, gotStats)
+}

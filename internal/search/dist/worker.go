@@ -7,12 +7,37 @@ import (
 	"io"
 	"log"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"cocco/internal/core"
 	"cocco/internal/eval"
 	"cocco/internal/search"
 	"cocco/internal/serialize"
 )
+
+// ErrDraining reports that the worker loop stopped because its ServeConfig
+// Stop channel closed (e.g. coccow caught SIGINT/SIGTERM) rather than
+// because the listener died. The in-flight session, if any, was aborted at
+// its next frame boundary with a best-effort MsgError to the coordinator.
+var ErrDraining = errors.New("dist: worker draining (shutdown signal)")
+
+// ServeConfig tunes a worker's Serve loop.
+type ServeConfig struct {
+	// Workers is the scoring-goroutine budget (0 = all CPUs).
+	Workers int
+	// IOTimeout, when positive, deadlines every frame read and write on a
+	// coordinator session; see Options.IOTimeout for how to size it. Zero
+	// disables deadlines. Note a worker legitimately sits in a blocking
+	// read for as long as the SLOWEST worker in the fleet takes a
+	// MigrateEvery-round step, so this must comfortably exceed that.
+	IOTimeout time.Duration
+	// Stop, when non-nil, drains the worker once closed: the accept loop
+	// refuses new sessions and an in-flight session is aborted at its next
+	// frame boundary (the current frame handler — possibly a multi-
+	// generation Step — finishes first). Serve then returns ErrDraining.
+	Stop <-chan struct{}
+}
 
 // Serve accepts coordinator sessions on ln, one at a time, each driving a
 // fresh search.RingHost over this process's evaluator. workers is the
@@ -21,16 +46,41 @@ import (
 // back to accepting, so a crashed-and-restarted coordinator can reconnect
 // and resume from its checkpoint.
 func Serve(ln net.Listener, ev *eval.Evaluator, workers int) error {
+	return ServeWith(ln, ev, ServeConfig{Workers: workers})
+}
+
+// ServeWith is Serve with drain and I/O-deadline control.
+func ServeWith(ln net.Listener, ev *eval.Evaluator, cfg ServeConfig) error {
+	var draining atomic.Bool
+	if cfg.Stop != nil {
+		stopped := make(chan struct{})
+		defer close(stopped)
+		go func() {
+			select {
+			case <-cfg.Stop:
+				draining.Store(true)
+				// Unblock Accept; serveConn notices draining on its own.
+				ln.Close()
+			case <-stopped:
+			}
+		}()
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if draining.Load() {
+				return ErrDraining
+			}
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		if err := serveConn(conn, ev, workers); err != nil && err != io.EOF {
+		if err := serveConn(conn, ev, cfg, &draining); err != nil && err != io.EOF {
 			log.Printf("dist worker: session from %s ended: %v", conn.RemoteAddr(), err)
+		}
+		if draining.Load() {
+			return ErrDraining
 		}
 	}
 }
@@ -43,12 +93,44 @@ type session struct {
 	host    *search.RingHost
 }
 
-func serveConn(conn net.Conn, ev *eval.Evaluator, workers int) error {
+func serveConn(conn net.Conn, ev *eval.Evaluator, cfg ServeConfig, draining *atomic.Bool) error {
 	defer conn.Close()
-	s := &session{w: newWire(conn), ev: ev, workers: workers}
+	s := &session{w: newWire(conn, cfg.IOTimeout), ev: ev, workers: cfg.Workers}
+	if cfg.Stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cfg.Stop:
+				if draining != nil {
+					// Store-before-kick so the read loop can't observe the
+					// deadline error while draining still reads false.
+					draining.Store(true)
+				}
+				// Kick the session out of its blocking read. Re-arm the
+				// immediate deadline in a loop because the read path re-sets
+				// a future deadline per frame when IOTimeout > 0.
+				for {
+					_ = conn.SetReadDeadline(time.Now())
+					select {
+					case <-done:
+						return
+					case <-time.After(50 * time.Millisecond):
+					}
+				}
+			case <-done:
+			}
+		}()
+	}
 	for {
 		t, payload, err := s.w.read()
 		if err != nil {
+			if draining != nil && draining.Load() {
+				// Tell the coordinator why the session died before it sees a
+				// bare connection reset; best-effort, the socket may be gone.
+				_ = writeMsg(s.w, MsgError, errorMsg{Err: ErrDraining.Error()})
+				return ErrDraining
+			}
 			if err == io.EOF {
 				return io.EOF
 			}

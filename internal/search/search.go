@@ -83,6 +83,12 @@ type Options struct {
 	// part of the checkpoint fingerprint. Time-boxed jobs run with MaxRounds
 	// and resume later.
 	MaxRounds int
+	// Progress, when non-nil, is called after every completed round (post-
+	// migration, post-checkpoint) with a snapshot of the run so far. Purely
+	// observational: like Workers and Trace it never shapes the trajectory
+	// and is excluded from the checkpoint fingerprint. The job server
+	// (internal/serve) streams these to polling clients.
+	Progress func(Progress)
 }
 
 func (o Options) WithDefaults() Options {
@@ -125,6 +131,27 @@ type Stats struct {
 	// (nil when the ring never migrated).
 	MigrantsSent     []int
 	MigrantsReceived []int
+}
+
+// Progress is a mid-run snapshot handed to Options.Progress after each
+// round. It carries the same aggregates a finished run's Stats would,
+// plus the best-so-far cost — everything a job server needs to report
+// "how far along is this search" without stopping it.
+type Progress struct {
+	// Rounds and Migrations completed so far (cumulative across resumes).
+	Rounds     int
+	Migrations int
+	// Samples, FeasibleSamples, and MemoHits sum over every island.
+	Samples         int
+	FeasibleSamples int
+	MemoHits        int
+	// HasBest reports whether any island holds a feasible genome yet;
+	// BestCost and BestIsland are meaningful only when it is true.
+	HasBest    bool
+	BestCost   float64
+	BestIsland int
+	// IslandStats holds each island's statistics, in ring order.
+	IslandStats []core.Stats
 }
 
 // island is one ring member: a GA population or a scout.
@@ -242,6 +269,11 @@ func (h *orchestrator) run() (*core.Genome, *Stats, error) {
 				return nil, nil, err
 			}
 		}
+		if h.opt.Progress != nil {
+			// After the checkpoint write, so a reported round is also a
+			// durable one whenever checkpointing is on.
+			h.opt.Progress(h.progressNow())
+		}
 		if h.opt.MaxRounds > 0 && h.rounds-startRound >= h.opt.MaxRounds {
 			// Pause: snapshot the barrier state so the job can resume later.
 			// If the final allowed round happened to exhaust every island,
@@ -284,6 +316,26 @@ func (h *orchestrator) migrate() {
 		h.recv[(i+1)%ring] += len(gs)
 	}
 	h.migrations++
+}
+
+// progressNow aggregates the ring's current state into a Progress snapshot,
+// using the exact rules finish applies to a completed run (AggregateBest for
+// the winner, per-island sums for the counters).
+func (h *orchestrator) progressNow() Progress {
+	p := Progress{Rounds: h.rounds, Migrations: h.migrations, BestIsland: -1}
+	best, bestIdx := AggregateBest(h.host.Bests())
+	if best != nil {
+		p.HasBest = true
+		p.BestCost = best.Cost
+		p.BestIsland = bestIdx
+	}
+	for _, is := range h.host.Stats() {
+		p.IslandStats = append(p.IslandStats, is)
+		p.Samples += is.Samples
+		p.FeasibleSamples += is.FeasibleSamples
+		p.MemoHits += is.MemoHits
+	}
+	return p
 }
 
 func (h *orchestrator) finish() (*core.Genome, *Stats, error) {

@@ -1,0 +1,132 @@
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Job wire format for the search job server (internal/serve, cmd/coccod).
+// Every job persists one manifest file next to its orchestrator checkpoint;
+// the manifest is rewritten atomically at every slice boundary, so a killed
+// or restarted server rescans its job directory and knows each job's spec,
+// state, and last durable progress. Like the checkpoint codec the manifest
+// is versioned and self-describing, and every float is a float64 that
+// round-trips bit-exactly through encoding/json.
+
+// JobManifestVersion is the current manifest format version; decode rejects
+// any other value.
+const JobManifestVersion = 1
+
+// Job states as persisted in the manifest. The in-memory scheduler uses the
+// same strings; see internal/serve for the state machine.
+const (
+	JobStateQueued    = "queued"
+	JobStateRunning   = "running"
+	JobStatePaused    = "paused"
+	JobStateDone      = "done"
+	JobStateCancelled = "cancelled"
+	JobStateFailed    = "failed"
+)
+
+// JobSpecJSON is the client-submitted description of one search job: the
+// model, platform, and search options, mirroring cmd/cocco's flags. It is
+// the only input the server needs to rebuild the job's evaluator and
+// search.Options after a restart, so everything trajectory-shaping lives
+// here and nothing server-side (pool width, slice length) does.
+type JobSpecJSON struct {
+	Model  string `json:"model"`
+	Tiling string `json:"tiling,omitempty"` // base tile HxW; empty = default
+	Cores  int    `json:"cores,omitempty"`  // accelerator cores (default 1)
+	Batch  int    `json:"batch,omitempty"`  // batch size (default 1)
+
+	Metric string  `json:"metric,omitempty"` // ema | energy (default energy)
+	Alpha  float64 `json:"alpha,omitempty"`  // Formula 2 preference α
+
+	Kind      string `json:"kind,omitempty"` // separate | shared (default separate)
+	GLBKiB    int64  `json:"glb_kib,omitempty"`
+	WGTKiB    int64  `json:"wgt_kib,omitempty"`
+	MemSearch bool   `json:"mem_search,omitempty"` // co-explore memory (DSE)
+
+	Seed       int64 `json:"seed"`
+	Population int   `json:"population,omitempty"`
+	Samples    int   `json:"samples"` // per-island evaluation budget
+
+	Islands      int      `json:"islands,omitempty"`
+	MigrateEvery int      `json:"migrate_every,omitempty"`
+	Migrants     int      `json:"migrants,omitempty"`
+	Scouts       []string `json:"scouts,omitempty"` // sa | greedy
+}
+
+// JobIslandJSON is one ring member's contribution to a progress report.
+type JobIslandJSON struct {
+	Kind            string `json:"kind"`
+	Samples         int    `json:"samples"`
+	FeasibleSamples int    `json:"feasible_samples"`
+	MemoHits        int    `json:"memo_hits"`
+}
+
+// JobProgressJSON is the durable progress snapshot written at every slice
+// boundary (and reported per-round to watchers in between). BestCost is nil
+// until any island holds a feasible genome. SamplesPerSec is measured wall
+// time spent inside search slices — informational only, never compared.
+type JobProgressJSON struct {
+	Rounds          int             `json:"rounds"`
+	Migrations      int             `json:"migrations"`
+	Samples         int             `json:"samples"`
+	FeasibleSamples int             `json:"feasible_samples"`
+	MemoHits        int             `json:"memo_hits"`
+	BestCost        *float64        `json:"best_cost,omitempty"`
+	BestIsland      int             `json:"best_island"`
+	SamplesPerSec   float64         `json:"samples_per_sec,omitempty"`
+	Islands         []JobIslandJSON `json:"islands,omitempty"`
+}
+
+// JobManifestJSON is the persisted state of one job. Result is set only in
+// the done state when the search found a feasible genome; Error records
+// failure reasons, and in the done state with a nil Result it records why
+// the search ended with nothing (budget exhausted with no feasible genome).
+type JobManifestJSON struct {
+	Version int         `json:"version"`
+	ID      string      `json:"id"`
+	State   string      `json:"state"`
+	Spec    JobSpecJSON `json:"spec"`
+	// Slices counts completed scheduler slices; progress advances at least
+	// one round per slice, so a manifest rewrite always moves forward.
+	Slices        int              `json:"slices"`
+	Progress      *JobProgressJSON `json:"progress,omitempty"`
+	Result        *GenomeJSON      `json:"result,omitempty"`
+	Error         string           `json:"error,omitempty"`
+	SubmittedUnix int64            `json:"submitted_unix,omitempty"`
+	UpdatedUnix   int64            `json:"updated_unix,omitempty"`
+}
+
+// EncodeJobManifest marshals a manifest, stamping the current version on the
+// wire form only — the caller's struct is never mutated.
+func EncodeJobManifest(m *JobManifestJSON) ([]byte, error) {
+	stamped := *m
+	stamped.Version = JobManifestVersion
+	out, err := json.MarshalIndent(&stamped, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serialize: job manifest: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// DecodeJobManifest unmarshals a manifest, rejecting unknown versions and
+// unknown states — a manifest from a future server generation must fail
+// loudly rather than be scheduled under wrong assumptions.
+func DecodeJobManifest(data []byte) (*JobManifestJSON, error) {
+	var m JobManifestJSON
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("serialize: job manifest: %w", err)
+	}
+	if m.Version != JobManifestVersion {
+		return nil, fmt.Errorf("serialize: job manifest version %d, want %d", m.Version, JobManifestVersion)
+	}
+	switch m.State {
+	case JobStateQueued, JobStateRunning, JobStatePaused, JobStateDone, JobStateCancelled, JobStateFailed:
+	default:
+		return nil, fmt.Errorf("serialize: job manifest: unknown state %q", m.State)
+	}
+	return &m, nil
+}

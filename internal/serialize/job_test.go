@@ -1,0 +1,100 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func testManifest() *JobManifestJSON {
+	cost := 123.456
+	return &JobManifestJSON{
+		ID:    "j000007",
+		State: JobStatePaused,
+		Spec: JobSpecJSON{
+			Model: "mobilenetv2", Tiling: "4x4", Cores: 1, Batch: 1,
+			Metric: "ema", Kind: "separate", GLBKiB: 1024, WGTKiB: 1152,
+			Seed: 11, Population: 20, Samples: 600,
+			Islands: 2, MigrateEvery: 2, Migrants: 2, Scouts: []string{"sa"},
+		},
+		Slices: 3,
+		Progress: &JobProgressJSON{
+			Rounds: 12, Migrations: 6, Samples: 480, FeasibleSamples: 100,
+			MemoHits: 40, BestCost: &cost, BestIsland: 1, SamplesPerSec: 250.5,
+			Islands: []JobIslandJSON{
+				{Kind: "ga", Samples: 200, FeasibleSamples: 50, MemoHits: 10},
+				{Kind: "sa", Samples: 80, FeasibleSamples: 20, MemoHits: 5},
+			},
+		},
+		SubmittedUnix: 1700000000,
+		UpdatedUnix:   1700000100,
+	}
+}
+
+func TestJobManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	data, err := EncodeJobManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJobManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Version = 0 // the stamp is the encoder's business, not the caller's
+	if !bytes.Equal(mustJSON(t, m), mustJSON(t, got)) {
+		t.Errorf("round-trip changed the manifest:\nin  %s\nout %s", mustJSON(t, m), mustJSON(t, got))
+	}
+	// Re-encoding the decoded form must be byte-stable: the serve scheduler
+	// rewrites manifests across restarts and any drift would churn the file.
+	again, err := EncodeJobManifest(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("encode(decode(x)) is not byte-stable")
+	}
+}
+
+func TestJobManifestEncoderIsPure(t *testing.T) {
+	m := testManifest()
+	if _, err := EncodeJobManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 0 {
+		t.Errorf("EncodeJobManifest mutated the caller's Version to %d", m.Version)
+	}
+}
+
+func TestJobManifestRejectsWrongVersion(t *testing.T) {
+	data, err := EncodeJobManifest(testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	if _, err := DecodeJobManifest(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version accepted (err %v)", err)
+	}
+}
+
+func TestJobManifestRejectsUnknownState(t *testing.T) {
+	m := testManifest()
+	m.State = "exploded"
+	data, err := EncodeJobManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeJobManifest(data); err == nil || !strings.Contains(err.Error(), "unknown state") {
+		t.Errorf("unknown state accepted (err %v)", err)
+	}
+}
